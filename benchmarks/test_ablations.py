@@ -1,0 +1,83 @@
+"""A1-A6 — ablations of the design choices DESIGN.md calls out.
+
+The paper's Sect. 3.1 refinement loop justifies each domain/strategy by the
+false alarms it removes ("a single refinement typically eliminates a few
+dozen if not hundreds of false alarms").  Each ablation disables exactly
+one feature of the refined analyzer on the flagship program and reports the
+alarms that come back — an attribution table for the final zero-alarm
+result.
+"""
+
+import pytest
+
+from .conftest import FLAGSHIP_KLOC, analyze_family, family_program, print_table
+
+ABLATIONS = [
+    ("full analyzer", {}),
+    ("no clocked domain", {"enable_clock": False}),
+    ("no octagons", {"enable_octagons": False}),
+    ("no ellipsoids", {"enable_ellipsoids": False}),
+    ("no decision trees", {"enable_decision_trees": False}),
+    ("no linearization", {"enable_linearization": False}),
+    ("no widening thresholds", {"thresholds": None}),
+    ("no delayed widening", {"widening_delay": 0,
+                             "delay_fairness_bound": 0}),
+    ("no loop unrolling", {"default_unroll": 0}),
+    # Feature-ON ablation: the optional inter-octagon propagation the
+    # paper mentions but found unnecessary (Sect. 7.2.1).
+    ("+octagon pivot reduction", {"octagon_pivot_reduction": True}),
+]
+
+
+class TestAblations:
+    def test_ablation_table(self, benchmark):
+        gp = family_program(FLAGSHIP_KLOC)
+
+        def sweep():
+            return {name: analyze_family(gp, **overrides)
+                    for name, overrides in ABLATIONS}
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        rows = [(name, results[name].alarm_count,
+                 f"{results[name].analysis_time:.2f}")
+                for name, _ in ABLATIONS]
+        print_table(
+            f"Ablations on the {gp.loc} LOC flagship "
+            "(alarms reintroduced by disabling one feature)",
+            ("configuration", "alarms", "time (s)"),
+            rows,
+        )
+        assert results["full analyzer"].alarm_count == 0
+        # Each specialized domain earns its keep on this program family.
+        assert results["no clocked domain"].alarm_count > 0, \
+            "event counters need the clocked domain"
+        assert results["no octagons"].alarm_count > 0, \
+            "delta-indexed accesses need octagonal relations"
+        assert results["no ellipsoids"].alarm_count > 0, \
+            "second-order filters need the ellipsoid domain"
+        assert results["no decision trees"].alarm_count > 0, \
+            "boolean-guarded divisions need decision trees"
+        assert results["no widening thresholds"].alarm_count > 0, \
+            "contracting maps need the threshold ladder"
+
+    def test_ablations_never_unsound(self, benchmark):
+        """Disabling features may only ADD alarms, never remove any
+        (they are all over-approximation refinements)."""
+        gp = family_program(FLAGSHIP_KLOC / 4)
+
+        def sweep():
+            full = analyze_family(gp)
+            return full, [(name, analyze_family(gp, **overrides))
+                          for name, overrides in ABLATIONS[1:5]]
+
+        full, ablated = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        for name, result in ablated:
+            assert result.alarm_count >= full.alarm_count, name
+
+
+@pytest.mark.parametrize("name,overrides", ABLATIONS[:5],
+                         ids=[a[0].replace(" ", "-") for a in ABLATIONS[:5]])
+def test_ablation_benchmark(benchmark, name, overrides):
+    gp = family_program(FLAGSHIP_KLOC / 2)
+    benchmark.pedantic(lambda: analyze_family(gp, **overrides),
+                       rounds=1, iterations=1)

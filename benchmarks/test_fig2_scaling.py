@@ -1,0 +1,74 @@
+"""E1 — Figure 2: total analysis time vs program size.
+
+Paper: "Fig. 2 gives the total analysis time for a family of related
+programs" — 10 to 75 kLOC analyzed in 0 to ~7,500 s on a 2.4 GHz 2003 PC,
+with a modest super-linear growth.  We regenerate the same curve on the
+synthetic family (scaled sizes; see conftest.SCALE) and report the fitted
+growth exponent: the claim that survives hardware changes is the *shape*
+(near-linear, mild super-linearity — not quadratic blow-up).
+"""
+
+import math
+import time
+
+import pytest
+
+from .conftest import FIG2_SIZES, analyze_family, family_program, print_table
+
+
+def _run_one(kloc):
+    gp = family_program(kloc)
+    t0 = time.perf_counter()
+    result = analyze_family(gp)
+    return gp, result, time.perf_counter() - t0
+
+
+class TestFig2Scaling:
+    def test_fig2_time_vs_kloc_series(self, benchmark):
+        """Prints the (kLOC, seconds) series of Fig. 2."""
+
+        def sweep():
+            out = []
+            for kloc in FIG2_SIZES:
+                out.append(_run_one(kloc))
+            return out
+
+        runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        rows = []
+        points = []
+        for gp, result, dt in runs:
+            rows.append((f"{gp.loc / 1000:.3f}", f"{dt:.2f}",
+                         result.alarm_count, result.octagon_pack_count))
+            points.append((gp.loc, dt))
+        print_table(
+            "Fig. 2 — total analysis time for the program family",
+            ("kLOC", "time (s)", "alarms", "octagon packs"),
+            rows,
+        )
+        # Fitted growth exponent from the first and last points.
+        (l0, t0), (l1, t1) = points[0], points[-1]
+        exponent = math.log(t1 / t0) / math.log(l1 / l0)
+        print(f"fitted growth exponent: {exponent:.2f} "
+              f"(1.0 = linear; paper's curve is mildly super-linear)")
+        # Shape assertions: monotone growth, not quadratic.
+        times = [t for _, t in points]
+        assert all(b >= a * 0.8 for a, b in zip(times, times[1:])), \
+            "analysis time should grow with program size"
+        assert exponent < 2.2, "scaling should stay well below cubic"
+
+    def test_family_members_all_verified(self, benchmark):
+        """Every member of the family is proved alarm-free (the analyzer
+        is adapted to the family, Sect. 3.2)."""
+
+        def sweep():
+            return [_run_one(kloc)[1] for kloc in FIG2_SIZES[:3]]
+
+        for result in benchmark.pedantic(sweep, rounds=1, iterations=1):
+            assert result.alarm_count == 0
+
+
+@pytest.mark.parametrize("kloc", FIG2_SIZES[:3])
+def test_fig2_benchmark(benchmark, kloc):
+    """pytest-benchmark timing for the smaller family members."""
+    gp = family_program(kloc)
+    benchmark.pedantic(lambda: analyze_family(gp), rounds=1, iterations=1)

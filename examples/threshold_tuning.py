@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""End-user adaptation by parametrization (Sect. 3.2 and 7.1.2).
+
+The paper's central economic argument: once specialists have built the
+analyzer, *end-users* adapt it to new programs in the family through
+parameters alone — "we have left to the user the simpler parametrizations
+only (such as widening thresholds easily found in the program
+documentation)".
+
+This example shows that workflow on a saturated counter whose
+documentation-specified ceiling (137) is not on the default threshold
+ladder:
+
+1. the default run leaves a false alarm (widening overshoots the ceiling,
+   and narrowing cannot retract past the abstract fixpoint);
+2. reading the "documentation", the end-user adds 137 to the thresholds;
+3. the re-run proves the program — no analyzer-internals expertise needed.
+
+Run:  python examples/threshold_tuning.py
+"""
+
+from repro import AnalyzerConfig, analyze
+from repro.domains.thresholds import default_thresholds
+
+SOURCE = r"""
+/* Documented constraint: burst counter saturates at BURST_LIMIT = 137. */
+#define BURST_LIMIT 137
+
+volatile int request;
+int burst;              /* requests in the current burst */
+float weight[138];      /* table sized for the documented limit */
+float served;
+
+int main(void) {
+    burst = 0;
+    while (1) {
+        if (request) {
+            if (burst < BURST_LIMIT) { burst = burst + 1; }
+        } else {
+            burst = 0;
+        }
+        /* Index into the table sized by the documented limit: in-bounds
+           only if the analysis knows burst <= 137. */
+        served = weight[burst];
+        __ASTREE_wait_for_clock();
+    }
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    ranges = {"request": (0, 1)}
+
+    print("== default thresholds (ladder of powers of 4) ==")
+    default_run = analyze(SOURCE, "burst.c",
+                          config=AnalyzerConfig(input_ranges=ranges))
+    print(f"alarms: {default_run.alarm_count}")
+    for alarm in default_run.alarms:
+        print(f"  {alarm}")
+
+    print("\n== user-supplied threshold 137 (from the documentation) ==")
+    tuned = AnalyzerConfig(
+        input_ranges=ranges,
+        thresholds=default_thresholds().with_extra([137.0]),
+    )
+    tuned_run = analyze(SOURCE, "burst.c", config=tuned)
+    print(f"alarms: {tuned_run.alarm_count}")
+
+    assert default_run.alarm_count > 0, "the default run must leave an alarm"
+    assert tuned_run.alarm_count == 0, "the tuned run proves the program"
+    print("\n-> one parameter, zero analyzer-code changes: the Sect. 3.2 "
+          "adaptation story.")
+
+
+if __name__ == "__main__":
+    main()

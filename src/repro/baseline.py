@@ -1,0 +1,59 @@
+"""The baseline analyzer: the "[5] analyzer we started with" (Sect. 2-3).
+
+A convenience wrapper that analyzes with only the original domains (plain
+intervals plus, optionally, the clocked domain) and none of this paper's
+refinements — the starting point of the refinement loop whose alarm count
+the experiments compare against (1,200 alarms vs the refined analyzer's 11
+on the reference program).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .analysis import AnalysisResult, analyze
+from .config import AnalyzerConfig, baseline_config
+
+__all__ = ["analyze_baseline", "refinement_stages"]
+
+
+def analyze_baseline(source, filename: str = "<input>",
+                     input_ranges: Optional[Dict[str, Tuple[float, float]]] = None,
+                     max_clock: Optional[int] = 3_600_000,
+                     **overrides) -> AnalysisResult:
+    cfg = baseline_config(input_ranges=input_ranges or {}, max_clock=max_clock)
+    if overrides:
+        cfg = cfg.with_overrides(**overrides)
+    return analyze(source, filename, config=cfg)
+
+
+def refinement_stages(base: AnalyzerConfig):
+    """The cumulative refinement sequence of Sect. 3.1/6, as configs.
+
+    Yields (stage name, config) from the baseline analyzer to the fully
+    refined one, for alarm-reduction experiments (E2).
+    """
+    stages = [
+        ("intervals",
+         dict(enable_clock=False, enable_octagons=False,
+              enable_ellipsoids=False, enable_decision_trees=False,
+              enable_linearization=False, widening_delay=0, default_unroll=0)),
+        ("+clocked domain",
+         dict(enable_octagons=False, enable_ellipsoids=False,
+              enable_decision_trees=False, enable_linearization=False,
+              widening_delay=0, default_unroll=0)),
+        ("+linearization",
+         dict(enable_octagons=False, enable_ellipsoids=False,
+              enable_decision_trees=False, widening_delay=0,
+              default_unroll=0)),
+        ("+iteration strategy",
+         dict(enable_octagons=False, enable_ellipsoids=False,
+              enable_decision_trees=False)),
+        ("+octagons",
+         dict(enable_ellipsoids=False, enable_decision_trees=False)),
+        ("+ellipsoids",
+         dict(enable_decision_trees=False)),
+        ("+decision trees (full)", dict()),
+    ]
+    for name, overrides in stages:
+        yield name, base.with_overrides(**overrides)

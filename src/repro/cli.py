@@ -1,0 +1,175 @@
+"""Command-line interface: ``astree-repro``.
+
+Subcommands:
+
+* ``analyze FILE...`` — analyze C sources and print alarms;
+* ``generate --kloc N --seed S`` — emit a family program to stdout;
+* ``slice FILE --line L`` — backward slice from the alarm nearest a line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis import analyze
+from .config import AnalyzerConfig, baseline_config
+
+__all__ = ["main"]
+
+
+def _parse_ranges(items: Optional[List[str]]):
+    out = {}
+    for item in items or []:
+        name, _, rng = item.partition("=")
+        lo, _, hi = rng.partition(":")
+        out[name] = (float(lo), float(hi))
+    return out
+
+
+def _build_config(args) -> AnalyzerConfig:
+    base = baseline_config() if args.baseline else AnalyzerConfig()
+    overrides = dict(input_ranges=_parse_ranges(args.input_range))
+    if args.max_clock is not None:
+        overrides["max_clock"] = args.max_clock
+    if args.unroll is not None:
+        overrides["default_unroll"] = args.unroll
+    if args.partition:
+        overrides["partition_functions"] = set(args.partition)
+    if args.no_octagons:
+        overrides["enable_octagons"] = False
+    if args.no_ellipsoids:
+        overrides["enable_ellipsoids"] = False
+    if args.no_trees:
+        overrides["enable_decision_trees"] = False
+    if args.invariants:
+        overrides["collect_invariants"] = True
+    return base.with_overrides(**overrides)
+
+
+def cmd_analyze(args) -> int:
+    sources = []
+    for path in args.files:
+        with open(path) as f:
+            sources.append((path, f.read()))
+    cfg = _build_config(args)
+    result = analyze(sources, config=cfg, entry=args.entry)
+    if args.json:
+        payload = {
+            "alarms": [
+                {"kind": a.kind, "file": a.loc.filename, "line": a.loc.line,
+                 "col": a.loc.col, "message": a.message}
+                for a in result.alarms
+            ],
+            "alarm_count": result.alarm_count,
+            "analysis_time_s": result.analysis_time,
+            "octagon_packs": result.octagon_pack_count,
+            "useful_octagon_packs": len(result.useful_octagon_packs),
+            "bool_packs": result.bool_pack_count,
+            "filter_sites": result.filter_site_count,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for a in result.alarms:
+            print(a)
+        print(f"-- {result.alarm_count} alarm(s) in "
+              f"{result.analysis_time:.2f}s "
+              f"({result.octagon_pack_count} octagon packs, "
+              f"{len(result.useful_octagon_packs)} useful; "
+              f"{result.bool_pack_count} boolean packs; "
+              f"{result.filter_site_count} filter sites)")
+        if args.invariants:
+            print("-- main loop invariant --")
+            print(result.dump_invariant_text())
+    return 1 if result.alarm_count and args.strict else 0
+
+
+def cmd_generate(args) -> int:
+    from .synth import FamilySpec, generate_program
+
+    gp = generate_program(FamilySpec(target_kloc=args.kloc, seed=args.seed))
+    if args.spec_out:
+        with open(args.spec_out, "w") as f:
+            json.dump({"input_ranges": gp.input_ranges,
+                       "max_clock": gp.max_clock}, f, indent=2)
+    sys.stdout.write(gp.source)
+    return 0
+
+
+def cmd_slice(args) -> int:
+    from .slicer import Slicer
+
+    with open(args.file) as f:
+        text = f.read()
+    cfg = _build_config(args)
+    result = analyze(text, args.file, config=cfg, entry=args.entry)
+    if not result.alarms:
+        print("no alarms; nothing to slice")
+        return 0
+    target = min(result.alarms,
+                 key=lambda a: abs(a.loc.line - (args.line or a.loc.line)))
+    slicer = Slicer(result.ctx.prog, result.ctx.table)
+    sl = slicer.slice_for_alarm(target)
+    print(f"criterion: {target}")
+    print(sl.format())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="astree-repro",
+        description="Abstract-interpretation analyzer for periodic "
+                    "synchronous C programs (PLDI 2003 reproduction)")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    pa = sub.add_parser("analyze", help="analyze C source files")
+    pa.add_argument("files", nargs="+")
+    pa.add_argument("--entry", default="main")
+    pa.add_argument("--input-range", action="append", metavar="NAME=LO:HI",
+                    help="volatile input range (repeatable)")
+    pa.add_argument("--max-clock", type=int, default=None)
+    pa.add_argument("--unroll", type=int, default=None)
+    pa.add_argument("--partition", action="append", metavar="FUNC",
+                    help="enable trace partitioning in a function")
+    pa.add_argument("--baseline", action="store_true",
+                    help="use the interval-only baseline analyzer")
+    pa.add_argument("--no-octagons", action="store_true")
+    pa.add_argument("--no-ellipsoids", action="store_true")
+    pa.add_argument("--no-trees", action="store_true")
+    pa.add_argument("--invariants", action="store_true",
+                    help="dump the main loop invariant")
+    pa.add_argument("--json", action="store_true")
+    pa.add_argument("--strict", action="store_true",
+                    help="exit nonzero when alarms remain")
+    pa.set_defaults(func=cmd_analyze)
+
+    pg = sub.add_parser("generate", help="generate a family program")
+    pg.add_argument("--kloc", type=float, default=1.0)
+    pg.add_argument("--seed", type=int, default=42)
+    pg.add_argument("--spec-out", default=None,
+                    help="write input-range spec JSON to this path")
+    pg.set_defaults(func=cmd_generate)
+
+    ps = sub.add_parser("slice", help="slice from an alarm point")
+    ps.add_argument("file")
+    ps.add_argument("--line", type=int, default=None)
+    ps.add_argument("--entry", default="main")
+    ps.add_argument("--input-range", action="append", metavar="NAME=LO:HI")
+    ps.add_argument("--max-clock", type=int, default=None)
+    ps.add_argument("--unroll", type=int, default=None)
+    ps.add_argument("--partition", action="append")
+    ps.add_argument("--baseline", action="store_true")
+    ps.add_argument("--no-octagons", action="store_true")
+    ps.add_argument("--no-ellipsoids", action="store_true")
+    ps.add_argument("--no-trees", action="store_true")
+    ps.add_argument("--invariants", action="store_true")
+    ps.set_defaults(func=cmd_slice)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Concrete interpreter for the C subset (differential-testing substrate)."""
+
+from .interpreter import (
+    ConcreteError, ConcreteInterpreter, RandomInputs, TraceEntry,
+)
+
+__all__ = ["ConcreteError", "ConcreteInterpreter", "RandomInputs", "TraceEntry"]

@@ -1,0 +1,21 @@
+"""Arithmetic abstract domains (Sect. 6.2) and per-cell values."""
+
+from .decision_tree import DecisionTree
+from .ellipsoid import EllipsoidParams, EllipsoidValue
+from .octagon import Octagon
+from .thresholds import ThresholdSet, default_thresholds
+from .values import CellValue, ClockInfo, bottom_value, const_value, top_value
+
+__all__ = [
+    "CellValue",
+    "ClockInfo",
+    "DecisionTree",
+    "EllipsoidParams",
+    "EllipsoidValue",
+    "Octagon",
+    "ThresholdSet",
+    "bottom_value",
+    "const_value",
+    "default_thresholds",
+    "top_value",
+]

@@ -1,0 +1,207 @@
+"""The ellipsoid abstract domain for second-order digital filters (Sect. 6.2.3).
+
+Filters of the shape::
+
+    if (B) { Y := i; X := j; }
+    else   { X' := a*X - b*Y + t;  Y := X;  X := X'; }
+
+with float constants ``a``, ``b`` satisfying ``0 < b < 1`` and
+``a^2 - 4b < 0`` keep no interval invariant (the affine map's spectral
+radius argument needs a quadratic form).  Proposition 1: if
+``k >= (t_M / (1 - sqrt(b)))^2`` then ``X^2 - a*X*Y + b*Y^2 <= k`` is
+preserved by the affine transformation.
+
+The domain element for one filter instance is the bound ``k`` (``+inf`` is
+top, and an empty/unreachable state is represented at the environment
+level).  The rotation transfer function is the paper's delta::
+
+    delta(k) = ((sqrt(b) + 4*f*(|a|*sqrt(b) + b)/sqrt(4b - a^2)) * sqrt(k)
+                + (1 + f) * t_M)^2
+
+where ``f`` is the greatest relative float error, accounting for the
+concrete rounding in ``a*X - b*Y + t``.  Reduction against the interval
+domain works both ways:
+
+* from intervals: ``k <= max over the box of X^2 - a*X*Y + b*Y^2``
+  (and the tighter ``(1 - a + b) * X^2`` bound when ``X = Y``);
+* to intervals: ``|X| <= 2*sqrt(b*k / (4b - a^2))`` and
+  ``|Y| <= 2*sqrt(k / (4b - a^2))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..numeric import BINARY32, FloatFormat, FloatInterval
+from ..numeric.float_utils import (
+    add_up, div_up, mul_up, sqrt_up, sub_down,
+)
+
+__all__ = ["EllipsoidParams", "EllipsoidValue"]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class EllipsoidParams:
+    """The (a, b) filter coefficients plus the float error model."""
+
+    a: float
+    b: float
+    t_max: float  # bound on |t| (from the interval analysis of t)
+    fmt: FloatFormat = BINARY32
+
+    def __post_init__(self):
+        if not (0.0 < self.b < 1.0):
+            raise ValueError(f"ellipsoid domain requires 0 < b < 1, got b={self.b}")
+        if not (self.a * self.a - 4.0 * self.b < 0.0):
+            raise ValueError(
+                f"ellipsoid domain requires a^2 - 4b < 0, got a={self.a}, b={self.b}")
+        if self.t_max < 0.0:
+            raise ValueError("t_max must be nonnegative")
+
+    @property
+    def discriminant(self) -> float:
+        """4b - a^2 > 0 (rounded down for sound use in denominators)."""
+        return sub_down(mul_up(4.0, self.b), mul_up(self.a, self.a))
+
+    def stable_k(self) -> float:
+        """The smallest provably-invariant bound (t_M / (1 - sqrt b))^2."""
+        denom = sub_down(1.0, sqrt_up(self.b))
+        if denom <= 0.0:
+            return _INF
+        q = div_up(self.t_max, denom)
+        return mul_up(q, q)
+
+    def delta(self, k: float) -> float:
+        """Sound bound on the quadratic form after one filter rotation."""
+        if k == _INF:
+            return _INF
+        if k < 0.0:
+            k = 0.0
+        f = self.fmt.rel_err
+        disc = self.discriminant
+        if disc <= 0.0:
+            return _INF
+        # sqrt(b) + 4f(|a| sqrt(b) + b) / sqrt(4b - a^2)
+        sb = sqrt_up(self.b)
+        num = mul_up(4.0 * f, add_up(mul_up(abs(self.a), sb), self.b))
+        coeff = add_up(sb, div_up(num, math.sqrt(disc)))
+        grown = add_up(mul_up(coeff, sqrt_up(k)), mul_up(add_up(1.0, f), self.t_max))
+        return mul_up(grown, grown)
+
+
+@dataclass(frozen=True)
+class EllipsoidValue:
+    """One ellipsoidal constraint X^2 - a*X*Y + b*Y^2 <= k."""
+
+    params: EllipsoidParams
+    k: float  # +inf is top
+
+    @staticmethod
+    def top(params: EllipsoidParams) -> "EllipsoidValue":
+        return EllipsoidValue(params, _INF)
+
+    @property
+    def is_top(self) -> bool:
+        return self.k == _INF
+
+    # -- transfer functions ------------------------------------------------------
+
+    def rotate(self) -> "EllipsoidValue":
+        """X' := a*X - b*Y + t; the constraint moves to the pair (X', X)."""
+        return EllipsoidValue(self.params, self.params.delta(self.k))
+
+    def reinitialize(self, x_iv: FloatInterval, y_iv: FloatInterval) -> "EllipsoidValue":
+        """The if-branch: X := j, Y := i with known intervals — take the
+        interval-based reduction as the new constraint."""
+        return self.reduce_from_intervals(x_iv, y_iv, replace=True)
+
+    # -- reductions ---------------------------------------------------------------
+
+    def reduce_from_intervals(self, x_iv: FloatInterval, y_iv: FloatInterval,
+                              replace: bool = False,
+                              equal_vars: bool = False) -> "EllipsoidValue":
+        """Tighten k from interval bounds on X and Y (Sect. 6.2.3's
+        reduction step with the interval domain)."""
+        if x_iv.is_empty or y_iv.is_empty:
+            return self
+        p = self.params
+        if equal_vars:
+            # X = Y: form evaluates to (1 - a + b) * X^2.
+            mag = x_iv.magnitude()
+            if math.isinf(mag):
+                k_box = _INF
+            else:
+                coeff = add_up(add_up(1.0, -p.a), p.b)
+                if coeff < 0.0:
+                    coeff = 0.0
+                k_box = mul_up(mul_up(coeff, mag), mag)
+        else:
+            mx, my = x_iv.magnitude(), y_iv.magnitude()
+            if math.isinf(mx) or math.isinf(my):
+                k_box = _INF
+            else:
+                # Upper bound of X^2 - aXY + bY^2 over the box (coarse but
+                # sound: |X|^2 + |a||X||Y| + b|Y|^2).
+                k_box = add_up(
+                    add_up(mul_up(mx, mx), mul_up(mul_up(abs(p.a), mx), my)),
+                    mul_up(mul_up(p.b, my), my),
+                )
+        new_k = k_box if replace else min(self.k, k_box)
+        if new_k == self.k and not replace:
+            return self
+        return EllipsoidValue(p, new_k)
+
+    def x_bound(self) -> FloatInterval:
+        """|X| <= 2*sqrt(b*k/(4b - a^2)) (used to reduce the intervals)."""
+        if self.is_top:
+            return FloatInterval.top()
+        disc = self.params.discriminant
+        if disc <= 0.0 or self.k < 0.0:
+            return FloatInterval.top()
+        r = mul_up(2.0, sqrt_up(div_up(mul_up(self.params.b, self.k), disc)))
+        return FloatInterval.of(-r, r)
+
+    def y_bound(self) -> FloatInterval:
+        """|Y| <= 2*sqrt(k/(4b - a^2))."""
+        if self.is_top:
+            return FloatInterval.top()
+        disc = self.params.discriminant
+        if disc <= 0.0 or self.k < 0.0:
+            return FloatInterval.top()
+        r = mul_up(2.0, sqrt_up(div_up(self.k, disc)))
+        return FloatInterval.of(-r, r)
+
+    # -- lattice --------------------------------------------------------------------
+
+    def join(self, other: "EllipsoidValue") -> "EllipsoidValue":
+        return EllipsoidValue(self.params, max(self.k, other.k))
+
+    def meet(self, other: "EllipsoidValue") -> "EllipsoidValue":
+        return EllipsoidValue(self.params, min(self.k, other.k))
+
+    def widen(self, other: "EllipsoidValue",
+              thresholds: Optional[Sequence[float]] = None) -> "EllipsoidValue":
+        if other.k <= self.k:
+            return self
+        if thresholds is None:
+            return EllipsoidValue(self.params, _INF)
+        for t in thresholds:
+            if t >= other.k:
+                return EllipsoidValue(self.params, t)
+        return EllipsoidValue(self.params, _INF)
+
+    def narrow(self, other: "EllipsoidValue") -> "EllipsoidValue":
+        if self.is_top:
+            return other
+        return self
+
+    def includes(self, other: "EllipsoidValue") -> bool:
+        return self.k >= other.k
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Ellipse(a={self.params.a}, b={self.params.b}, "
+                f"k={'inf' if self.is_top else self.k})")

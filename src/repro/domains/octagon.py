@@ -1,0 +1,485 @@
+"""The octagon abstract domain with sound float handling (Sect. 6.2.2).
+
+Octagons represent conjunctions of constraints of the form ``±x ±y <= c``
+in cubic time and quadratic space, using a difference-bound matrix (DBM)
+over doubled variables: index ``2i`` stands for ``+v_i`` and ``2i+1`` for
+``-v_i``; ``m[i][j]`` bounds ``V_j - V_i`` (so, e.g., ``m[2j][2i] = c``
+encodes ``v_i - v_j <= c``) [Miné, WCRE 2001].
+
+Following the paper's recipe for floating-point relational domains:
+
+* the octagon itself is a *sound abstract domain for variables in the real
+  field*: all internal bound computations round upward (a one-ulp outward
+  nudge after each operation), so every manipulation over-approximates the
+  exact real-field result;
+* concrete floating-point expressions reach the octagon only as interval
+  linear forms (Sect. 6.3) whose constant term already includes the
+  concrete rounding errors.
+
+One octagon abstracts one *pack* of variables (Sect. 7.2.1); packs are
+small, so the cubic closure stays cheap, and the analyzer holds a map from
+pack id to octagon inside the shared functional-map state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..numeric import FloatInterval, LinearForm
+from ..numeric.float_utils import add_up, div_up, mul_up
+
+__all__ = ["Octagon"]
+
+_INF = math.inf
+
+
+def _nudge_up(a: np.ndarray) -> np.ndarray:
+    """One-ulp upward nudge of every finite entry (soundness of + on reals)."""
+    out = np.nextafter(a, _INF)
+    out[np.isinf(a)] = a[np.isinf(a)]
+    return out
+
+
+def _set2(m: np.ndarray, i: int, j: int, c: float) -> None:
+    """Tighten m[i][j] and its coherent mirror m[bar j][bar i] to <= c."""
+    if c < m[i, j]:
+        m[i, j] = c
+    bi, bj = j ^ 1, i ^ 1
+    if c < m[bi, bj]:
+        m[bi, bj] = c
+
+
+class Octagon:
+    """An octagon over ``n`` pack variables (identified by position).
+
+    Instances are treated as immutable: every operation returns a new
+    octagon (possibly ``self`` when nothing changed).  ``None`` entries
+    never appear; bottom is represented by a dedicated flag discovered
+    during closure (a negative diagonal entry).
+    """
+
+    __slots__ = ("n", "m", "_closed", "_bottom", "_closed_cache")
+
+    def __init__(self, n: int, m: Optional[np.ndarray] = None,
+                 closed: bool = False, bottom: bool = False):
+        self.n = n
+        if m is None:
+            m = np.full((2 * n, 2 * n), _INF, dtype=np.float64)
+            np.fill_diagonal(m, 0.0)
+        self.m = m
+        self._closed = closed
+        self._bottom = bottom
+        self._closed_cache: Optional["Octagon"] = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def top(n: int) -> "Octagon":
+        return Octagon(n, closed=True)
+
+    @staticmethod
+    def make_bottom(n: int) -> "Octagon":
+        return Octagon(n, closed=True, bottom=True)
+
+    @property
+    def is_bottom(self) -> bool:
+        return self._bottom
+
+    @property
+    def is_top(self) -> bool:
+        """Cheap top test: only the zero diagonal is finite."""
+        return (not self._bottom
+                and np.count_nonzero(np.isfinite(self.m)) == 2 * self.n)
+
+    def copy(self) -> "Octagon":
+        return Octagon(self.n, self.m.copy(), self._closed, self._bottom)
+
+    # -- closure ------------------------------------------------------------------
+
+    def closed(self) -> "Octagon":
+        """Strong closure (all implied constraints made explicit), sound
+        w.r.t. real arithmetic via upward rounding."""
+        if self._closed or self._bottom:
+            return self
+        if self._closed_cache is not None:
+            return self._closed_cache
+        if np.count_nonzero(np.isfinite(self.m)) == 2 * self.n:
+            # Top octagon (only the zero diagonal is finite): already closed.
+            out = Octagon(self.n, self.m, closed=True)
+            self._closed_cache = out
+            return out
+        m = self.m.copy()
+        size = 2 * self.n
+        for k in range(self.n):
+            for kk in (2 * k, 2 * k + 1):
+                # Floyd-Warshall step through node kk, rounding up.
+                col = m[:, kk:kk + 1]
+                row = m[kk:kk + 1, :]
+                via = _nudge_up(col + row)
+                np.minimum(m, via, out=m)
+            # Combined path through both 2k and 2k+1.
+            a = m[:, 2 * k:2 * k + 1] + m[2 * k, 2 * k + 1]
+            b = m[2 * k + 1:2 * k + 2, :]
+            via2 = _nudge_up(_nudge_up(a) + b)
+            np.minimum(m, via2, out=m)
+            a = m[:, 2 * k + 1:2 * k + 2] + m[2 * k + 1, 2 * k]
+            b = m[2 * k:2 * k + 1, :]
+            via3 = _nudge_up(_nudge_up(a) + b)
+            np.minimum(m, via3, out=m)
+        # Strengthening: m[i][j] <= (m[i][bar i] + m[bar j][j]) / 2.
+        bar = _bar_indices(size)
+        diag_i = m[np.arange(size), bar][:, None]  # m[i][bar i]
+        diag_j = m[bar, np.arange(size)][None, :]  # m[bar j][j]
+        half = _nudge_up(_nudge_up(diag_i + diag_j) / 2.0)
+        np.minimum(m, half, out=m)
+        if np.any(np.diagonal(m) < 0.0):
+            out = Octagon.make_bottom(self.n)
+        else:
+            np.fill_diagonal(m, 0.0)
+            out = Octagon(self.n, m, closed=True)
+        self._closed_cache = out
+        return out
+
+    # -- lattice --------------------------------------------------------------------
+
+    def join(self, other: "Octagon") -> "Octagon":
+        if self._bottom:
+            return other
+        if other._bottom:
+            return self
+        a = self.closed()
+        b = other.closed()
+        return Octagon(self.n, np.maximum(a.m, b.m), closed=True)
+
+    def meet(self, other: "Octagon") -> "Octagon":
+        if self._bottom or other._bottom:
+            return Octagon.make_bottom(self.n)
+        return Octagon(self.n, np.minimum(self.m, other.m)).closed()
+
+    def widen(self, other: "Octagon",
+              thresholds: Optional[Sequence[float]] = None) -> "Octagon":
+        """Entry-wise widening: unstable bounds jump to the next threshold
+        (or infinity).  The left argument must NOT be closed before widening
+        (closure can defeat termination); we widen raw matrices."""
+        if self._bottom:
+            return other
+        if other._bottom:
+            return self
+        b = other.closed()
+        m = self.m.copy()
+        unstable = b.m > self.m
+        if thresholds is None:
+            m[unstable] = _INF
+        else:
+            ts = np.asarray(sorted(t for t in thresholds), dtype=np.float64)
+            vals = b.m[unstable]
+            idx = np.searchsorted(ts, vals, side="left")
+            idx = np.clip(idx, 0, len(ts) - 1)
+            chosen = ts[idx]
+            chosen[chosen < vals] = _INF  # no threshold above: go to top
+            m[unstable] = chosen
+        return Octagon(self.n, m, closed=False)
+
+    def narrow(self, other: "Octagon") -> "Octagon":
+        if self._bottom or other._bottom:
+            return other
+        b = other.closed()
+        m = self.m.copy()
+        at_inf = np.isinf(m)
+        m[at_inf] = b.m[at_inf]
+        return Octagon(self.n, m).closed()
+
+    def includes(self, other: "Octagon") -> bool:
+        """True when other ⊆ self: every constraint of self is implied by
+        the (tightest, closed) constraints of other."""
+        if other._bottom:
+            return True
+        if self._bottom:
+            return False
+        return bool(np.all(other.closed().m <= self.m))
+
+    def equal(self, other: "Octagon") -> bool:
+        if self._bottom or other._bottom:
+            return self._bottom == other._bottom
+        a, b = self.closed(), other.closed()
+        return bool(np.array_equal(a.m, b.m))
+
+    # -- constraint access ------------------------------------------------------------
+
+    def var_interval(self, i: int) -> FloatInterval:
+        """Bounds for variable i implied by the octagon (after closure)."""
+        if self._bottom:
+            return FloatInterval.empty()
+        c = self.closed()
+        hi = div_up(c.m[2 * i + 1, 2 * i], 2.0)      # v_i <= m/2
+        lo = -div_up(c.m[2 * i, 2 * i + 1], 2.0)     # -v_i <= m/2
+        return FloatInterval.of(lo, hi)
+
+    def sum_bound(self, i: int, j: int) -> FloatInterval:
+        """Bounds for v_i + v_j."""
+        if self._bottom:
+            return FloatInterval.empty()
+        c = self.closed()
+        hi = c.m[2 * j + 1, 2 * i]   # v_i - (-v_j) = v_i + v_j <= c
+        lo = -c.m[2 * j, 2 * i + 1]
+        return FloatInterval.of(lo, hi)
+
+    def diff_bound(self, i: int, j: int) -> FloatInterval:
+        """Bounds for v_i - v_j."""
+        if self._bottom:
+            return FloatInterval.empty()
+        c = self.closed()
+        hi = c.m[2 * j, 2 * i]
+        lo = -c.m[2 * j + 1, 2 * i + 1]
+        return FloatInterval.of(lo, hi)
+
+    def finite_constraint_count(self) -> Tuple[int, int]:
+        """(additive, subtractive) finite octagonal constraints, for the
+        invariant statistics of the experiment E4."""
+        if self._bottom:
+            return (0, 0)
+        add = sub = 0
+        for i in range(self.n):
+            for j in range(i + 1, self.n):
+                s = self.sum_bound(i, j)
+                d = self.diff_bound(i, j)
+                if s.is_bounded:
+                    add += 1
+                if d.is_bounded:
+                    sub += 1
+        return add, sub
+
+    # -- transfer functions --------------------------------------------------------
+
+    def set_var_bounds(self, i: int, iv: FloatInterval) -> "Octagon":
+        """Intersect with lo <= v_i <= hi."""
+        if self._bottom or iv.is_top:
+            return self
+        if iv.is_empty:
+            return Octagon.make_bottom(self.n)
+        m = self.m.copy()
+        if iv.hi < _INF:
+            _set2(m, 2 * i + 1, 2 * i, mul_up(2.0, iv.hi))
+        if iv.lo > -_INF:
+            _set2(m, 2 * i, 2 * i + 1, mul_up(2.0, -iv.lo))
+        return Octagon(self.n, m).closed()
+
+    def forget(self, i: int) -> "Octagon":
+        """Project out all constraints on variable i (keep implied ones)."""
+        if self._bottom:
+            return self
+        c = self.closed()
+        m = c.m.copy()
+        m[2 * i, :] = _INF
+        m[2 * i + 1, :] = _INF
+        m[:, 2 * i] = _INF
+        m[:, 2 * i + 1] = _INF
+        m[2 * i, 2 * i] = 0.0
+        m[2 * i + 1, 2 * i + 1] = 0.0
+        return Octagon(self.n, m, closed=True)
+
+    def assign_interval(self, i: int, iv: FloatInterval) -> "Octagon":
+        """v_i := a fresh value in ``iv`` (non-relational assignment)."""
+        return self.forget(i).set_var_bounds(i, iv)
+
+    def assign_var_plus_interval(self, i: int, j: int, delta: FloatInterval,
+                                 j_bounds: Optional[FloatInterval] = None) -> "Octagon":
+        """v_i := v_j + delta (the paper's 'smart' transfer for L := Z + V:
+        extract V's interval and synthesize c <= L - Z <= d).
+
+        ``j_bounds``, when given, seeds unary bounds for v_j in the same
+        matrix edit so the subsequent closure derives v_i's range too.
+        """
+        if self._bottom:
+            return self
+        if delta.is_empty:
+            return Octagon.make_bottom(self.n)
+        if i == j:
+            return self.shift_var(i, delta)
+        out = self.forget(i)
+        m = out.m.copy()
+        # v_i - v_j <= delta.hi ; v_j - v_i <= -delta.lo
+        if delta.hi < _INF:
+            _set2(m, 2 * j, 2 * i, delta.hi)
+        if delta.lo > -_INF:
+            _set2(m, 2 * i, 2 * j, -delta.lo)
+        _seed_bounds(m, j, j_bounds)
+        return Octagon(self.n, m).closed()
+
+    def assign_neg_var_plus_interval(self, i: int, j: int, delta: FloatInterval,
+                                     j_bounds: Optional[FloatInterval] = None) -> "Octagon":
+        """v_i := -v_j + delta (encodes v_i + v_j in [delta])."""
+        if self._bottom:
+            return self
+        if delta.is_empty:
+            return Octagon.make_bottom(self.n)
+        if i == j:
+            # v_i := -v_i + delta: old and new values both constrained;
+            # fall back to interval assignment by the caller.
+            iv = self.var_interval(i).neg().add(delta)
+            return self.assign_interval(i, iv)
+        out = self.forget(i)
+        m = out.m.copy()
+        # v_i + v_j <= delta.hi ; -(v_i + v_j) <= -delta.lo
+        if delta.hi < _INF:
+            _set2(m, 2 * j + 1, 2 * i, delta.hi)
+        if delta.lo > -_INF:
+            _set2(m, 2 * j, 2 * i + 1, -delta.lo)
+        _seed_bounds(m, j, j_bounds)
+        return Octagon(self.n, m).closed()
+
+    def shift_var(self, i: int, delta: FloatInterval) -> "Octagon":
+        """v_i := v_i + delta."""
+        if self._bottom or delta.is_empty:
+            return Octagon.make_bottom(self.n) if delta.is_empty else self
+        c = self.closed()
+        m = c.m.copy()
+        # Row/col for +v_i: constraints V_j - v_i <= c become <= c - lo.
+        lo, hi = delta.lo, delta.hi
+        pos, neg = 2 * i, 2 * i + 1
+        for j in range(2 * self.n):
+            if j in (pos, neg):
+                continue
+            if m[pos, j] < _INF:  # V_j - v_i <= c  ->  c - lo
+                m[pos, j] = add_up(m[pos, j], -lo) if lo > -_INF else _INF
+            if m[j, pos] < _INF:  # v_i - V_j <= c  ->  c + hi
+                m[j, pos] = add_up(m[j, pos], hi) if hi < _INF else _INF
+            if m[neg, j] < _INF:  # V_j + v_i <= c  ->  c + hi
+                m[neg, j] = add_up(m[neg, j], hi) if hi < _INF else _INF
+            if m[j, neg] < _INF:  # -v_i - V_j <= c  ->  c - lo
+                m[j, neg] = add_up(m[j, neg], -lo) if lo > -_INF else _INF
+        # Unary bounds: v_i <= c/2 -> v_i <= c/2 + hi (stored doubled).
+        if m[neg, pos] < _INF:
+            m[neg, pos] = add_up(m[neg, pos], mul_up(2.0, hi)) if hi < _INF else _INF
+        if m[pos, neg] < _INF:
+            m[pos, neg] = add_up(m[pos, neg], mul_up(2.0, -lo)) if lo > -_INF else _INF
+        return Octagon(self.n, m).closed()
+
+    def guard_upper(self, coeffs: Dict[int, int], bound: float,
+                    seed_bounds: Optional[Dict[int, FloatInterval]] = None) -> "Octagon":
+        """Intersect with ``sum coeffs[i] * v_i <= bound`` where the coeffs
+        are +1/-1 and at most two variables are involved.  ``seed_bounds``
+        optionally installs unary bounds (pos -> interval) in the same
+        edit so the closure can combine them with the new constraint."""
+        if self._bottom:
+            return self
+        items = [(i, s) for i, s in coeffs.items() if s != 0]
+        if not items or len(items) > 2:
+            return self
+        m = self.m.copy()
+        if seed_bounds:
+            for pos, iv in seed_bounds.items():
+                _seed_bounds(m, pos, iv)
+        if len(items) == 1:
+            (i, s), = items
+            if s > 0:  # v_i <= bound
+                _set2(m, 2 * i + 1, 2 * i, mul_up(2.0, bound))
+            else:  # -v_i <= bound
+                _set2(m, 2 * i, 2 * i + 1, mul_up(2.0, bound))
+        else:
+            (i, si), (j, sj) = items
+            if si > 0 and sj > 0:      # v_i + v_j <= bound
+                _set2(m, 2 * j + 1, 2 * i, bound)
+            elif si > 0 and sj < 0:    # v_i - v_j <= bound
+                _set2(m, 2 * j, 2 * i, bound)
+            elif si < 0 and sj > 0:    # v_j - v_i <= bound
+                _set2(m, 2 * i, 2 * j, bound)
+            else:                      # -v_i - v_j <= bound
+                _set2(m, 2 * j, 2 * i + 1, bound)
+        return Octagon(self.n, m).closed()
+
+    def assign_linear_form(self, i: int, form: LinearForm,
+                           var_index: Dict[object, int],
+                           lookup) -> "Octagon":
+        """Best-effort relational assignment of a linear form to v_i.
+
+        ``var_index`` maps linear-form variable ids to pack positions;
+        ``lookup(var_id)`` gives the interval of any variable (pack member
+        or not).  Variables outside the pack are intervalized into the
+        constant.  If exactly one pack variable remains with coefficient
+        [1,1] (or [-1,-1]), a relational assignment is performed — this is
+        the transfer function that proves ``c <= L - Z <= d`` in the
+        paper's example.  Otherwise the assignment degrades to an interval
+        assignment.
+        """
+        if self._bottom:
+            return self
+        # Split coefficients into in-pack and out-of-pack parts.
+        const = form.const
+        residue = FloatInterval.const(0.0)
+        in_pack: List[Tuple[object, int, FloatInterval]] = []  # (vid, pos, coeff)
+        for v, c in form.coeffs:
+            if v in var_index:
+                in_pack.append((v, var_index[v], c))
+            else:
+                residue = residue.add(c.mul(lookup(v)))
+        const = const.add(residue)
+
+        def pack_interval(vid, pos) -> FloatInterval:
+            return self.var_interval(pos).meet(lookup(vid))
+
+        # Identify the unit-coefficient pack variable whose choice as the
+        # relational partner leaves the *narrowest* residue: for
+        # b := a + o with o in [1,5] and a in [0,100], keeping b - a in
+        # [1,5] is what proves the paper's L := Z + V example, whereas
+        # b - o in [0,100] is nearly useless.
+        candidates: List[Tuple[int, int, object]] = []  # (pos, sign, vid)
+        for vid, pos, c in in_pack:
+            if c.is_const and c.lo in (1.0, -1.0):
+                candidates.append((pos, int(c.lo), vid))
+        best = None  # (width, pos, sign, vid, delta)
+        for pos, sign, vid in candidates:
+            extra = FloatInterval.const(0.0)
+            ok = True
+            for ovid, opos, oc in in_pack:
+                if opos == pos and ovid == vid:
+                    continue
+                extra = extra.add(oc.mul(pack_interval(ovid, opos)))
+                if extra.is_top:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            delta = const.add(extra)
+            width = delta.width() if delta.is_bounded else math.inf
+            if best is None or width < best[0]:
+                best = (width, pos, sign, vid, delta)
+        if best is not None and best[0] < math.inf:
+            _, j, sign, j_vid, delta = best
+            jb = lookup(j_vid)
+            if sign > 0:
+                return self.assign_var_plus_interval(i, j, delta, j_bounds=jb)
+            return self.assign_neg_var_plus_interval(i, j, delta, j_bounds=jb)
+        # Fallback: interval assignment (intervalize every in-pack term).
+        iv = const
+        for vid, pos, c in in_pack:
+            iv = iv.add(c.mul(pack_interval(vid, pos)))
+        return self.assign_interval(i, iv)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._bottom:
+            return "Octagon(bottom)"
+        lines = []
+        for i in range(self.n):
+            lines.append(f"v{i} in {self.var_interval(i)!r}")
+        return "Octagon(" + "; ".join(lines) + ")"
+
+
+def _seed_bounds(m: np.ndarray, pos: int, iv: Optional[FloatInterval]) -> None:
+    """Install unary bounds for the variable at ``pos`` into matrix ``m``."""
+    if iv is None or iv.is_empty or iv.is_top:
+        return
+    if iv.hi < _INF:
+        _set2(m, 2 * pos + 1, 2 * pos, mul_up(2.0, iv.hi))
+    if iv.lo > -_INF:
+        _set2(m, 2 * pos, 2 * pos + 1, mul_up(2.0, -iv.lo))
+
+
+def _bar_indices(size: int) -> np.ndarray:
+    """bar(2i) = 2i+1, bar(2i+1) = 2i."""
+    idx = np.arange(size)
+    return idx ^ 1
+

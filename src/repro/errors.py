@@ -1,0 +1,56 @@
+"""Exception hierarchy for the analyzer."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PreprocessorError",
+    "LexerError",
+    "ParseError",
+    "TypeError_",
+    "UnsupportedConstructError",
+    "LinkError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all analyzer errors."""
+
+
+class SourceError(ReproError):
+    """An error attached to a source location."""
+
+    def __init__(self, message: str, filename: str = "<input>", line: int = 0, col: int = 0):
+        self.filename = filename
+        self.line = line
+        self.col = col
+        super().__init__(f"{filename}:{line}:{col}: {message}")
+
+
+class PreprocessorError(SourceError):
+    """Error during the C preprocessing phase."""
+
+
+class LexerError(SourceError):
+    """Error during tokenization."""
+
+
+class ParseError(SourceError):
+    """Error during parsing."""
+
+
+class TypeError_(SourceError):
+    """Error during type checking."""
+
+
+class UnsupportedConstructError(SourceError):
+    """A C construct outside the supported subset (rejected per Sect. 5.1)."""
+
+
+class LinkError(ReproError):
+    """Error while linking several translation units."""
+
+
+class AnalysisError(ReproError):
+    """Internal error during abstract execution."""

@@ -1,0 +1,13 @@
+"""C frontend: preprocessing, parsing, type checking, lowering, linking."""
+
+from .linker import compile_files, compile_source, link_sources
+from .parser import parse
+from .preprocessor import preprocess
+
+__all__ = [
+    "compile_files",
+    "compile_source",
+    "link_sources",
+    "parse",
+    "preprocess",
+]

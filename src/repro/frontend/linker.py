@@ -1,0 +1,79 @@
+"""A simple linker for multi-file programs (Sect. 5.1).
+
+"Optionally, a simple linker allows programs consisting of several source
+files to be processed."  Each file is preprocessed and parsed separately;
+all translation units are then lowered through a single :class:`~repro.
+frontend.lowering.Lowerer`, which resolves cross-unit references to globals
+and functions (``extern`` declarations match definitions by name and type).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..errors import LinkError, TypeError_, UnsupportedConstructError
+from .ir import IRProgram
+from .lowering import Lowerer
+from .parser import parse
+from .preprocessor import preprocess
+
+__all__ = ["link_sources", "compile_source"]
+
+
+def compile_source(
+    source: str,
+    filename: str = "<input>",
+    entry: str = "main",
+    include_dirs: Sequence[str] = (),
+    predefined: Optional[Dict[str, str]] = None,
+    delete_unused_globals: bool = True,
+) -> IRProgram:
+    """Preprocess, parse, type-check and lower a single source text."""
+    return link_sources([(filename, source)], entry=entry,
+                        include_dirs=include_dirs, predefined=predefined,
+                        delete_unused_globals=delete_unused_globals)
+
+
+def link_sources(
+    sources: Sequence[tuple],
+    entry: str = "main",
+    include_dirs: Sequence[str] = (),
+    predefined: Optional[Dict[str, str]] = None,
+    delete_unused_globals: bool = True,
+) -> IRProgram:
+    """Link several (filename, source-text) units into one IR program."""
+    if not sources:
+        raise LinkError("no source files provided")
+    lowerer = Lowerer()
+    for filename, text in sources:
+        preprocessed = preprocess(text, filename, include_dirs=include_dirs,
+                                  predefined=predefined)
+        try:
+            unit = parse(preprocessed, filename)
+            lowerer.add_unit(unit)
+        except TypeError_ as exc:
+            raise LinkError(f"while linking {filename}: {exc}") from exc
+        except RecursionError as exc:
+            raise UnsupportedConstructError(
+                "construct nested too deeply for the frontend",
+                filename, 0, 0) from exc
+    try:
+        return lowerer.finish(entry, delete_unused_globals)
+    except RecursionError as exc:
+        raise UnsupportedConstructError(
+            "construct nested too deeply for the frontend") from exc
+
+
+def compile_files(
+    paths: Sequence[str],
+    entry: str = "main",
+    include_dirs: Sequence[str] = (),
+    predefined: Optional[Dict[str, str]] = None,
+) -> IRProgram:
+    """Compile and link source files from disk."""
+    sources = []
+    for path in paths:
+        with open(path, "r") as f:
+            sources.append((path, f.read()))
+    return link_sources(sources, entry=entry, include_dirs=include_dirs,
+                        predefined=predefined)

@@ -1,0 +1,17 @@
+"""The abstract interpreter: iterator, transfer functions, guards, alarms."""
+
+from .alarms import Alarm, AlarmCollector, AlarmKind
+from .iterator import Flow, Iterator
+from .state import AbstractState, AnalysisContext
+from .transfer import Transfer
+
+__all__ = [
+    "AbstractState",
+    "Alarm",
+    "AlarmCollector",
+    "AlarmKind",
+    "AnalysisContext",
+    "Flow",
+    "Iterator",
+    "Transfer",
+]

@@ -1,0 +1,7 @@
+"""Memory abstract domain: functional maps, cells, abstract environments."""
+
+from .cells import CellInfo, CellTable
+from .environment import MemoryEnv
+from .fmap import PMap
+
+__all__ = ["CellInfo", "CellTable", "MemoryEnv", "PMap"]

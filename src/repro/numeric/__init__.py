@@ -1,0 +1,14 @@
+"""Numeric substrate: sound directed rounding, intervals, linear forms."""
+
+from .float_utils import BINARY32, BINARY64, FloatFormat
+from .intervals import FloatInterval, IntInterval
+from .linear_forms import LinearForm
+
+__all__ = [
+    "BINARY32",
+    "BINARY64",
+    "FloatFormat",
+    "FloatInterval",
+    "IntInterval",
+    "LinearForm",
+]

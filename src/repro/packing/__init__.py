@@ -1,0 +1,17 @@
+"""Parametrized packing strategies (Sect. 7.2)."""
+
+from .boolean_packs import BoolPack, BoolPacking, compute_bool_packs
+from .ellipsoid_sites import FilterSite, FilterSites, find_filter_sites
+from .octagon_packs import OctagonPack, OctagonPacking, compute_octagon_packs
+
+__all__ = [
+    "BoolPack",
+    "BoolPacking",
+    "FilterSite",
+    "FilterSites",
+    "OctagonPack",
+    "OctagonPacking",
+    "compute_bool_packs",
+    "compute_octagon_packs",
+    "find_filter_sites",
+]

@@ -1,0 +1,91 @@
+"""Analysis report generation (the end-user facing output of Sect. 3.3).
+
+Produces human-readable (markdown) and machine-readable (JSON) reports
+from an :class:`~repro.analysis.AnalysisResult`: alarms grouped by kind
+and location, invariant statistics, packing feedback for the next run,
+and the analyzer configuration fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List, Optional
+
+from .analysis import AnalysisResult
+
+__all__ = ["render_markdown", "render_json", "write_report"]
+
+
+def render_markdown(result: AnalysisResult, title: str = "Analysis report") -> str:
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(f"* analysis time: **{result.analysis_time:.2f} s**")
+    lines.append(f"* widening iterations: {result.widening_iterations}")
+    lines.append(f"* octagon packs: {result.octagon_pack_count} "
+                 f"({len(result.useful_octagon_packs)} useful, "
+                 f"avg size {result.octagon_pack_avg_size:.1f})")
+    lines.append(f"* boolean packs: {result.bool_pack_count}")
+    lines.append(f"* filter sites: {result.filter_site_count}")
+    lines.append("")
+    lines.append(f"## Alarms ({result.alarm_count})")
+    lines.append("")
+    if not result.alarms:
+        lines.append("No alarms: the analyzed properties are **proved**.")
+    else:
+        by_kind = result.alarms_by_kind()
+        lines.append("| kind | count |")
+        lines.append("|---|---|")
+        for kind, count in sorted(by_kind.items()):
+            lines.append(f"| {kind} | {count} |")
+        lines.append("")
+        for alarm in result.alarms:
+            lines.append(f"* `{alarm.loc}` — **{alarm.kind}**: {alarm.message}")
+    stats = result.invariant_stats()
+    if stats.total():
+        lines.append("")
+        lines.append("## Main loop invariant")
+        lines.append("")
+        lines.append("| assertion kind | count |")
+        lines.append("|---|---|")
+        lines.append(f"| boolean interval | {stats.boolean_interval_assertions} |")
+        lines.append(f"| interval | {stats.interval_assertions} |")
+        lines.append(f"| clock | {stats.clock_assertions} |")
+        lines.append(f"| octagonal (additive) | {stats.octagonal_additive_assertions} |")
+        lines.append(f"| octagonal (subtractive) | {stats.octagonal_subtractive_assertions} |")
+        lines.append(f"| decision trees | {stats.decision_trees} |")
+        lines.append(f"| ellipsoidal | {stats.ellipsoidal_assertions} |")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: AnalysisResult) -> str:
+    stats = result.invariant_stats()
+    payload: Dict[str, object] = {
+        "alarm_count": result.alarm_count,
+        "alarms": [
+            {"kind": a.kind, "file": a.loc.filename, "line": a.loc.line,
+             "col": a.loc.col, "message": a.message, "sid": a.sid}
+            for a in result.alarms
+        ],
+        "analysis_time_s": result.analysis_time,
+        "widening_iterations": result.widening_iterations,
+        "packing": {
+            "octagon_packs": result.octagon_pack_count,
+            "octagon_pack_avg_size": result.octagon_pack_avg_size,
+            "useful_octagon_packs": [list(k) for k in
+                                     sorted(result.useful_octagon_packs)],
+            "bool_packs": result.bool_pack_count,
+            "filter_sites": result.filter_site_count,
+        },
+        "invariant_stats": asdict(stats),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def write_report(result: AnalysisResult, path: str,
+                 fmt: Optional[str] = None) -> None:
+    """Write a report; format inferred from the extension when omitted."""
+    if fmt is None:
+        fmt = "json" if path.endswith(".json") else "markdown"
+    text = render_json(result) if fmt == "json" else render_markdown(result)
+    with open(path, "w") as f:
+        f.write(text)

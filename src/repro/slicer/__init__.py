@@ -1,0 +1,13 @@
+"""Program slicer for alarm inspection (Sect. 3.3)."""
+
+from .dependences import DependenceGraph, build_dependence_graph
+from .slicer import Slice, Slicer, abstract_slice, backward_slice
+
+__all__ = [
+    "DependenceGraph",
+    "Slice",
+    "Slicer",
+    "abstract_slice",
+    "backward_slice",
+    "build_dependence_graph",
+]

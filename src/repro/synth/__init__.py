@@ -1,0 +1,12 @@
+"""Synthetic periodic synchronous program family (Sect. 4 substitute)."""
+
+from .blocks import ALL_BLOCK_TYPES, Block
+from .generator import FamilySpec, GeneratedProgram, generate_program
+
+__all__ = [
+    "ALL_BLOCK_TYPES",
+    "Block",
+    "FamilySpec",
+    "GeneratedProgram",
+    "generate_program",
+]

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+SRC_CLEAN = """
+volatile int sensor;
+int out;
+int main(void) {
+    int s = sensor;   /* one read: volatiles may differ between reads */
+    if (s > 0) { out = 100 / s; }
+    return 0;
+}
+"""
+
+SRC_BUGGY = """
+volatile int sensor;
+int out;
+int main(void) {
+    out = 100 / sensor;
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    p = tmp_path / "clean.c"
+    p.write_text(SRC_CLEAN)
+    return str(p)
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    p = tmp_path / "buggy.c"
+    p.write_text(SRC_BUGGY)
+    return str(p)
+
+
+class TestAnalyzeCommand:
+    def test_clean_program(self, clean_file, capsys):
+        rc = main(["analyze", clean_file, "--input-range", "sensor=0:100"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 alarm(s)" in out
+
+    def test_buggy_program_reports(self, buggy_file, capsys):
+        rc = main(["analyze", buggy_file, "--input-range", "sensor=0:100"])
+        out = capsys.readouterr().out
+        assert "division-by-zero" in out
+
+    def test_strict_exit_code(self, buggy_file):
+        rc = main(["analyze", buggy_file, "--strict",
+                   "--input-range", "sensor=0:100"])
+        assert rc == 1
+
+    def test_json_output(self, buggy_file, capsys):
+        main(["analyze", buggy_file, "--json",
+              "--input-range", "sensor=0:100"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["alarm_count"] == 1
+        assert payload["alarms"][0]["kind"] == "division-by-zero"
+
+    def test_baseline_flag(self, clean_file, capsys):
+        rc = main(["analyze", clean_file, "--baseline",
+                   "--input-range", "sensor=0:100"])
+        assert rc == 0
+
+    def test_domain_toggles(self, clean_file, capsys):
+        rc = main(["analyze", clean_file, "--no-octagons", "--no-ellipsoids",
+                   "--no-trees", "--input-range", "sensor=0:100"])
+        assert rc == 0
+
+    def test_invariants_flag(self, tmp_path, capsys):
+        p = tmp_path / "loop.c"
+        p.write_text("""
+        int i;
+        int main(void) {
+            i = 0;
+            while (i < 10) { i = i + 1; }
+            return 0;
+        }
+        """)
+        main(["analyze", str(p), "--invariants"])
+        out = capsys.readouterr().out
+        assert "main loop invariant" in out
+
+
+class TestGenerateCommand:
+    def test_generate_emits_c(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        rc = main(["generate", "--kloc", "0.2", "--seed", "5",
+                   "--spec-out", str(spec_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "int main(void)" in out
+        spec = json.loads(spec_path.read_text())
+        assert spec["input_ranges"]
+        assert spec["max_clock"] > 0
+
+    def test_generated_program_analyzable(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        main(["generate", "--kloc", "0.2", "--seed", "5",
+              "--spec-out", str(spec_path)])
+        source = capsys.readouterr().out
+        src_path = tmp_path / "fam.c"
+        src_path.write_text(source)
+        spec = json.loads(spec_path.read_text())
+        args = ["analyze", str(src_path), "--max-clock", str(spec["max_clock"])]
+        for name, (lo, hi) in spec["input_ranges"].items():
+            args += ["--input-range", f"{name}={lo}:{hi}"]
+        rc = main(args)
+        out = capsys.readouterr().out
+        assert rc == 0 and "0 alarm(s)" in out
+
+
+class TestSliceCommand:
+    def test_slice_from_alarm(self, buggy_file, capsys):
+        rc = main(["slice", buggy_file, "--input-range", "sensor=0:100"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "criterion" in out
+
+    def test_slice_no_alarms(self, clean_file, capsys):
+        rc = main(["slice", clean_file, "--input-range", "sensor=0:100"])
+        out = capsys.readouterr().out
+        assert "nothing to slice" in out

@@ -1,0 +1,262 @@
+"""Tests for the outward-rounded interval arithmetic."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.numeric import BINARY32, FloatInterval, IntInterval
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+def fintervals():
+    return st.tuples(finite, finite).map(
+        lambda ab: FloatInterval.of(min(ab), max(ab))
+    )
+
+
+def iintervals():
+    small = st.integers(min_value=-(10**6), max_value=10**6)
+    return st.tuples(small, small).map(lambda ab: IntInterval.of(min(ab), max(ab)))
+
+
+def sample_points(iv: FloatInterval):
+    pts = []
+    if iv.is_empty:
+        return pts
+    for p in (iv.lo, iv.hi, (iv.lo + iv.hi) / 2.0, 0.0):
+        if iv.contains(p) and not math.isinf(p):
+            pts.append(p)
+    return pts
+
+
+class TestFloatIntervalLattice:
+    def test_empty_is_empty(self):
+        assert FloatInterval.empty().is_empty
+
+    def test_top_contains_everything(self):
+        assert FloatInterval.top().contains(1e308)
+        assert FloatInterval.top().contains(-1e308)
+
+    def test_of_inverted_bounds_is_empty(self):
+        assert FloatInterval.of(1.0, 0.0).is_empty
+
+    @given(fintervals(), fintervals())
+    def test_join_is_upper_bound(self, a, b):
+        j = a.join(b)
+        assert j.includes(a) and j.includes(b)
+
+    @given(fintervals(), fintervals())
+    def test_meet_is_lower_bound(self, a, b):
+        m = a.meet(b)
+        assert a.includes(m) and b.includes(m)
+
+    @given(fintervals())
+    def test_join_with_empty_is_identity(self, a):
+        assert a.join(FloatInterval.empty()) == a
+
+    @given(fintervals(), fintervals())
+    def test_widen_is_upper_bound(self, a, b):
+        w = a.widen(b)
+        assert w.includes(a) and w.includes(b)
+
+    @given(fintervals(), fintervals())
+    def test_widen_with_thresholds_is_upper_bound(self, a, b):
+        ts = [-math.inf, -100.0, 0.0, 100.0, math.inf]
+        w = a.widen(b, ts)
+        assert w.includes(a) and w.includes(b)
+
+    def test_widen_hits_threshold_not_infinity(self):
+        ts = [-math.inf, -100.0, 0.0, 100.0, math.inf]
+        a = FloatInterval.of(0.0, 1.0)
+        b = FloatInterval.of(0.0, 2.0)
+        w = a.widen(b, ts)
+        assert w.hi == 100.0
+
+    def test_widen_termination(self):
+        """Iterated widening reaches a fixpoint in finitely many steps."""
+        ts = [-math.inf] + [float(10**k) for k in range(10)] + [math.inf]
+        cur = FloatInterval.of(0.0, 1.0)
+        for i in range(50):
+            nxt = cur.widen(cur.add(FloatInterval.const(1.0)), ts)
+            if nxt == cur:
+                break
+            cur = nxt
+        else:
+            raise AssertionError("widening did not terminate")
+
+    @given(fintervals(), fintervals())
+    def test_narrow_stays_above_meet(self, a, b):
+        n = a.narrow(b)
+        assert n.includes(a.meet(b))
+
+
+class TestFloatIntervalArith:
+    @given(fintervals(), fintervals())
+    def test_add_sound(self, a, b):
+        r = a.add(b)
+        for x in sample_points(a):
+            for y in sample_points(b):
+                if not math.isinf(x + y):
+                    assert r.contains(x + y)
+
+    @given(fintervals(), fintervals())
+    def test_sub_sound(self, a, b):
+        r = a.sub(b)
+        for x in sample_points(a):
+            for y in sample_points(b):
+                if not math.isinf(x - y):
+                    assert r.contains(x - y)
+
+    @given(fintervals(), fintervals())
+    def test_mul_sound(self, a, b):
+        r = a.mul(b)
+        for x in sample_points(a):
+            for y in sample_points(b):
+                if not math.isinf(x * y):
+                    assert r.contains(x * y)
+
+    @given(fintervals(), fintervals())
+    def test_div_sound(self, a, b):
+        r = a.div(b)
+        for x in sample_points(a):
+            for y in sample_points(b):
+                if y != 0.0 and not math.isinf(x / y):
+                    assert r.contains(x / y)
+
+    def test_div_by_zero_only_is_empty(self):
+        assert FloatInterval.of(1.0, 2.0).div(FloatInterval.const(0.0)).is_empty
+
+    def test_div_straddling_zero_is_wide(self):
+        r = FloatInterval.of(1.0, 2.0).div(FloatInterval.of(-1.0, 1.0))
+        assert r.hi == math.inf and r.lo == -math.inf
+
+    def test_neg(self):
+        assert FloatInterval.of(-1.0, 2.0).neg() == FloatInterval.of(-2.0, 1.0)
+
+    def test_abs_straddling(self):
+        assert FloatInterval.of(-3.0, 2.0).abs() == FloatInterval.of(0.0, 3.0)
+
+    def test_abs_negative(self):
+        assert FloatInterval.of(-3.0, -2.0).abs() == FloatInterval.of(2.0, 3.0)
+
+    def test_sqrt(self):
+        r = FloatInterval.of(4.0, 9.0).sqrt()
+        assert r.contains(2.0) and r.contains(3.0)
+
+    def test_sqrt_clips_negative_part(self):
+        r = FloatInterval.of(-4.0, 9.0).sqrt()
+        assert r.lo == 0.0
+
+    def test_paper_example_loses_precision_bottom_up(self):
+        """Sect. 6.3: bottom-up evaluation of X - 0.2*X on X in [0,1]."""
+        x = FloatInterval.of(0.0, 1.0)
+        naive = x.sub(x.mul(FloatInterval.const(0.2)))
+        assert naive.lo < -0.19  # the imprecise [-0.2, 1] result
+
+
+class TestRoundTo:
+    def test_small_value_no_overflow(self):
+        iv, ovf = FloatInterval.of(0.0, 1.0).round_to(BINARY32)
+        assert not ovf
+        assert iv.includes(FloatInterval.of(0.0, 1.0))
+
+    def test_overflow_detected_and_clamped(self):
+        iv, ovf = FloatInterval.of(0.0, 1e39).round_to(BINARY32)
+        assert ovf
+        assert iv.hi <= BINARY32.max_value
+
+    def test_rounding_inflates(self):
+        iv, _ = FloatInterval.const(0.1).round_to(BINARY32)
+        assert iv.lo < 0.1 < iv.hi
+
+    def test_empty_passthrough(self):
+        iv, ovf = FloatInterval.empty().round_to(BINARY32)
+        assert iv.is_empty and not ovf
+
+
+class TestIntInterval:
+    @given(iintervals(), iintervals())
+    def test_join_meet(self, a, b):
+        assert a.join(b).includes(a)
+        assert a.includes(a.meet(b))
+
+    @given(iintervals(), iintervals())
+    def test_add_sound(self, a, b):
+        r = a.add(b)
+        assert r.contains(a.lo + b.lo) and r.contains(a.hi + b.hi)
+
+    @given(iintervals(), iintervals())
+    def test_mul_sound_on_endpoints(self, a, b):
+        r = a.mul(b)
+        for x in (a.lo, a.hi):
+            for y in (b.lo, b.hi):
+                assert r.contains(x * y)
+
+    def test_mul_with_infinite_bound(self):
+        a = IntInterval.of(1, None)
+        b = IntInterval.of(2, 3)
+        r = a.mul(b)
+        assert r.hi is None and r.lo == 2
+
+    def test_mul_zero_and_infinite(self):
+        a = IntInterval.of(0, None)
+        b = IntInterval.of(0, 0)
+        assert a.mul(b).contains(0)
+
+    @given(iintervals(), iintervals())
+    def test_div_trunc_sound(self, a, b):
+        r = a.div_trunc(b)
+
+        def cdiv(x, y):
+            q = abs(x) // abs(y)
+            return q if (x >= 0) == (y >= 0) else -q
+
+        for x in (a.lo, a.hi, (a.lo + a.hi) // 2):
+            for y in (b.lo, b.hi):
+                if y != 0:
+                    assert r.contains(cdiv(x, y)), (x, y, cdiv(x, y), r)
+
+    def test_div_by_zero_only_is_empty(self):
+        assert IntInterval.of(1, 5).div_trunc(IntInterval.const(0)).is_empty
+
+    @given(iintervals(), iintervals())
+    def test_mod_sound(self, a, b):
+        r = a.mod_trunc(b)
+        for x in (a.lo, a.hi):
+            for y in (b.lo, b.hi):
+                if y != 0:
+                    m = math.fmod(x, y)
+                    assert r.contains(int(m)), (x, y, int(m), r)
+
+    def test_restrict_ne_endpoint(self):
+        assert IntInterval.of(0, 5).restrict_ne(0) == IntInterval.of(1, 5)
+        assert IntInterval.of(0, 5).restrict_ne(5) == IntInterval.of(0, 4)
+        assert IntInterval.const(3).restrict_ne(3).is_empty
+
+    def test_restrict_ne_interior_is_identity(self):
+        assert IntInterval.of(0, 5).restrict_ne(2) == IntInterval.of(0, 5)
+
+    def test_widen_unbounded(self):
+        a = IntInterval.of(0, 10)
+        b = IntInterval.of(0, 20)
+        assert a.widen(b).hi is None
+
+    def test_widen_with_thresholds(self):
+        a = IntInterval.of(0, 10)
+        b = IntInterval.of(0, 20)
+        w = a.widen(b, [-math.inf, 100.0, math.inf])
+        assert w.hi == 100
+
+    def test_narrow_refines_infinite_bound(self):
+        a = IntInterval.of(0, None)
+        b = IntInterval.of(0, 50)
+        assert a.narrow(b) == IntInterval.of(0, 50)
+
+    def test_to_float_interval_exact_small(self):
+        fi = IntInterval.of(-3, 7).to_float_interval()
+        assert fi.lo == -3.0 and fi.hi == 7.0
+
+    def test_from_float_interval_truncates_toward_zero(self):
+        ii = IntInterval.from_float_interval(FloatInterval.of(-2.7, 3.9))
+        assert ii == IntInterval.of(-2, 3)

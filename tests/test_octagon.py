@@ -1,0 +1,262 @@
+"""Tests for the octagon abstract domain."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.domains.octagon import Octagon
+from repro.numeric import FloatInterval, LinearForm
+
+
+def boxed(n, bounds):
+    """Octagon with per-variable interval bounds."""
+    o = Octagon.top(n)
+    for i, (lo, hi) in enumerate(bounds):
+        o = o.set_var_bounds(i, FloatInterval.of(lo, hi))
+    return o
+
+
+class TestBasics:
+    def test_top_has_no_bounds(self):
+        o = Octagon.top(2)
+        assert o.var_interval(0).is_top
+
+    def test_bottom(self):
+        assert Octagon.make_bottom(2).is_bottom
+        assert Octagon.make_bottom(2).var_interval(0).is_empty
+
+    def test_set_and_get_var_bounds(self):
+        o = boxed(2, [(-1.0, 2.0), (0.0, 5.0)])
+        iv = o.var_interval(0)
+        assert iv.lo <= -1.0 <= 2.0 <= iv.hi
+        assert iv.lo >= -1.001 and iv.hi <= 2.001
+
+    def test_contradictory_bounds_give_bottom(self):
+        o = Octagon.top(1).set_var_bounds(0, FloatInterval.of(1.0, 2.0))
+        o = o.set_var_bounds(0, FloatInterval.of(5.0, 6.0))
+        assert o.is_bottom
+
+    def test_empty_interval_gives_bottom(self):
+        o = Octagon.top(1).set_var_bounds(0, FloatInterval.empty())
+        assert o.is_bottom
+
+
+class TestClosure:
+    def test_transitivity_through_closure(self):
+        # x - y <= 1 and y - z <= 2 implies x - z <= 3 (+ rounding slack).
+        o = Octagon.top(3)
+        o = o.guard_upper({0: 1, 1: -1}, 1.0)
+        o = o.guard_upper({1: 1, 2: -1}, 2.0)
+        d = o.diff_bound(0, 2)
+        assert d.hi <= 3.0000001
+        assert d.hi >= 3.0
+
+    def test_sum_and_diff_interact(self):
+        # x + y <= 4, x - y <= 2 implies x <= 3.
+        o = Octagon.top(2)
+        o = o.guard_upper({0: 1, 1: 1}, 4.0)
+        o = o.guard_upper({0: 1, 1: -1}, 2.0)
+        assert o.var_interval(0).hi <= 3.0000001
+
+    def test_unary_from_binary(self):
+        # 1 <= x - y <= 1 and y in [0, 2] implies x in [1, 3].
+        o = boxed(2, [(-100.0, 100.0), (0.0, 2.0)])
+        o = o.guard_upper({0: 1, 1: -1}, 1.0)
+        o = o.guard_upper({0: -1, 1: 1}, -1.0)
+        iv = o.var_interval(0)
+        assert 0.999 <= iv.lo <= 1.0 and 3.0 <= iv.hi <= 3.001
+
+
+class TestLattice:
+    def test_join_is_upper_bound(self):
+        a = boxed(2, [(0.0, 1.0), (0.0, 1.0)])
+        b = boxed(2, [(2.0, 3.0), (-1.0, 0.5)])
+        j = a.join(b)
+        assert j.includes(a) and j.includes(b)
+
+    def test_join_with_bottom(self):
+        a = boxed(1, [(0.0, 1.0)])
+        assert a.join(Octagon.make_bottom(1)) is a
+
+    def test_meet_refines(self):
+        a = boxed(1, [(0.0, 10.0)])
+        b = boxed(1, [(5.0, 20.0)])
+        m = a.meet(b)
+        iv = m.var_interval(0)
+        assert iv.lo >= 4.999 and iv.hi <= 10.001
+
+    def test_meet_disjoint_is_bottom(self):
+        a = boxed(1, [(0.0, 1.0)])
+        b = boxed(1, [(5.0, 6.0)])
+        assert a.meet(b).is_bottom
+
+    def test_includes_reflexive(self):
+        a = boxed(2, [(0.0, 1.0), (2.0, 3.0)])
+        assert a.includes(a)
+
+    def test_includes_antisymmetric_cases(self):
+        big = boxed(1, [(0.0, 10.0)])
+        small = boxed(1, [(2.0, 3.0)])
+        assert big.includes(small)
+        assert not small.includes(big)
+
+    def test_equal(self):
+        a = boxed(1, [(0.0, 1.0)])
+        b = boxed(1, [(0.0, 1.0)])
+        assert a.equal(b)
+
+
+class TestWidening:
+    def test_widen_unstable_to_infinity(self):
+        a = boxed(1, [(0.0, 1.0)])
+        b = boxed(1, [(0.0, 2.0)])
+        w = a.widen(b)
+        assert w.var_interval(0).hi == math.inf
+
+    def test_widen_stable_keeps_bound(self):
+        a = boxed(1, [(0.0, 2.0)])
+        b = boxed(1, [(0.0, 1.0)])
+        w = a.widen(b)
+        assert w.var_interval(0).hi <= 2.001
+
+    def test_widen_with_thresholds(self):
+        a = boxed(1, [(0.0, 1.0)])
+        b = boxed(1, [(0.0, 2.0)])
+        w = a.widen(b, thresholds=[-math.inf, 0.0, 100.0, math.inf])
+        assert w.var_interval(0).hi <= 50.001  # 2*bound stored; 100/2 = 50
+
+    def test_widening_terminates(self):
+        cur = boxed(1, [(0.0, 1.0)])
+        for i in range(100):
+            grown = boxed(1, [(0.0, 1.0 + i)])
+            nxt = cur.widen(grown)
+            if nxt.equal(cur):
+                break
+            cur = nxt
+        else:
+            raise AssertionError("widening sequence did not stabilize")
+
+    def test_narrow_recovers_bound(self):
+        a = boxed(1, [(0.0, 1.0)])
+        w = a.widen(boxed(1, [(0.0, 2.0)]))  # hi -> inf
+        n = w.narrow(boxed(1, [(0.0, 2.0)]))
+        assert n.var_interval(0).hi <= 2.001
+
+
+class TestTransfer:
+    def test_forget(self):
+        o = boxed(2, [(0.0, 1.0), (5.0, 6.0)])
+        o = o.forget(0)
+        assert o.var_interval(0).is_top
+        iv1 = o.var_interval(1)
+        assert iv1.lo >= 4.999 and iv1.hi <= 6.001
+
+    def test_assign_var_plus_interval(self):
+        """The paper's L := Z + V transfer: c <= L - Z <= d."""
+        o = boxed(2, [(-100.0, 100.0), (0.0, 100.0)])
+        # v0 plays L, v1 plays Z; V in [1, 3].
+        o = o.assign_var_plus_interval(0, 1, FloatInterval.of(1.0, 3.0))
+        d = o.diff_bound(0, 1)
+        assert 0.999 <= d.lo and d.hi <= 3.001
+
+    def test_assign_var_plus_interval_implies_range(self):
+        o = boxed(2, [(-100.0, 100.0), (0.0, 10.0)])
+        o = o.assign_var_plus_interval(0, 1, FloatInterval.of(1.0, 2.0))
+        iv = o.var_interval(0)
+        assert iv.lo >= 0.999 and iv.hi <= 12.001
+
+    def test_self_shift(self):
+        o = boxed(1, [(0.0, 1.0)])
+        o = o.assign_var_plus_interval(0, 0, FloatInterval.const(1.0))
+        iv = o.var_interval(0)
+        assert 0.999 <= iv.lo and iv.hi <= 2.001
+
+    def test_shift_preserves_relations(self):
+        # x - y in [0, 0], then x += 1 gives x - y in [1, 1].
+        o = boxed(2, [(0.0, 5.0), (0.0, 5.0)])
+        o = o.guard_upper({0: 1, 1: -1}, 0.0)
+        o = o.guard_upper({0: -1, 1: 1}, 0.0)
+        o = o.shift_var(0, FloatInterval.const(1.0))
+        d = o.diff_bound(0, 1)
+        assert 0.999 <= d.lo and d.hi <= 1.001
+
+    def test_assign_neg_var(self):
+        o = boxed(2, [(-100.0, 100.0), (2.0, 3.0)])
+        o = o.assign_neg_var_plus_interval(0, 1, FloatInterval.const(0.0))
+        s = o.sum_bound(0, 1)
+        assert -0.001 <= s.lo <= s.hi <= 0.001
+        iv = o.var_interval(0)
+        assert -3.001 <= iv.lo and iv.hi <= -1.999
+
+    def test_assign_interval(self):
+        o = boxed(2, [(0.0, 1.0), (0.0, 1.0)])
+        o = o.guard_upper({0: 1, 1: -1}, 0.0)
+        o = o.assign_interval(0, FloatInterval.of(7.0, 8.0))
+        iv = o.var_interval(0)
+        assert 6.999 <= iv.lo and iv.hi <= 8.001
+        # Old relation with v1 must be gone.
+        assert o.diff_bound(0, 1).hi >= 5.9
+
+    def test_paper_example_l_z_v(self):
+        """Sect. 6.2.2 example: R := X - Z; if (R > V) L := Z + V; => L <= X."""
+        # Pack: X=0, Z=1, V=2, R=3, L=4.
+        o = Octagon.top(5)
+        o = o.set_var_bounds(0, FloatInterval.of(-100.0, 100.0))
+        o = o.set_var_bounds(1, FloatInterval.of(-100.0, 100.0))
+        o = o.set_var_bounds(2, FloatInterval.of(0.0, 10.0))
+        # R := X - Z is not octagonal in general; but the guard R > V with
+        # V in [0, 10] gives L := Z + V with V's interval --> L - Z <= 10.
+        o = o.assign_var_plus_interval(4, 1, FloatInterval.of(0.0, 10.0))
+        d = o.diff_bound(4, 1)
+        assert d.hi <= 10.001
+
+
+class TestLinearFormAssign:
+    def test_unit_coefficient_stays_relational(self):
+        o = boxed(2, [(-50.0, 50.0), (0.0, 5.0)])
+        form = LinearForm.var("z").add(LinearForm.constant(FloatInterval.of(1.0, 2.0)))
+        o2 = o.assign_linear_form(0, form, {"z": 1}, lambda v: FloatInterval.of(0.0, 5.0))
+        d = o2.diff_bound(0, 1)
+        assert 0.999 <= d.lo and d.hi <= 2.001
+
+    def test_out_of_pack_vars_intervalized(self):
+        o = boxed(1, [(-50.0, 50.0)])
+        form = LinearForm.var("outside").add(LinearForm.of_const(1.0))
+        o2 = o.assign_linear_form(0, form, {}, lambda v: FloatInterval.of(0.0, 2.0))
+        iv = o2.var_interval(0)
+        assert 0.999 <= iv.lo and iv.hi <= 3.001
+
+    def test_nonunit_coefficient_falls_back_to_interval(self):
+        o = boxed(2, [(-50.0, 50.0), (1.0, 2.0)])
+        form = LinearForm.var("z").scale(FloatInterval.const(3.0))
+        o2 = o.assign_linear_form(0, form, {"z": 1},
+                                  lambda v: FloatInterval.of(1.0, 2.0))
+        iv = o2.var_interval(0)
+        assert 2.999 <= iv.lo and iv.hi <= 6.001
+
+
+class TestSoundnessSampling:
+    @given(st.floats(-10, 10), st.floats(-10, 10), st.floats(-10, 10))
+    def test_closure_preserves_points(self, x, y, z):
+        """Any concrete point satisfying the constraints stays inside
+        after closure tightening."""
+        o = Octagon.top(3)
+        o = o.set_var_bounds(0, FloatInterval.of(-10.0, 10.0))
+        o = o.set_var_bounds(1, FloatInterval.of(-10.0, 10.0))
+        o = o.set_var_bounds(2, FloatInterval.of(-10.0, 10.0))
+        o = o.guard_upper({0: 1, 1: -1}, 3.0)
+        o = o.guard_upper({1: 1, 2: 1}, 5.0)
+        sat = (x - y <= 3.0) and (y + z <= 5.0)
+        if sat:
+            c = o.closed()
+            assert c.var_interval(0).contains(x) or abs(x) > 10
+            d = c.diff_bound(0, 1)
+            assert d.contains(x - y) or abs(x) > 10 or abs(y) > 10
+
+    def test_invariant_counts(self):
+        o = boxed(2, [(0.0, 1.0), (0.0, 1.0)])
+        add, sub = o.finite_constraint_count()
+        # Bounded boxes imply bounded sums and differences after closure.
+        assert add == 1 and sub == 1

@@ -1,0 +1,245 @@
+"""Tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.errors import ParseError, UnsupportedConstructError
+from repro.frontend import parse
+from repro.frontend import ast_nodes as A
+
+
+def parse_expr(text):
+    unit = parse(f"int x; void f(void) {{ x = {text}; }}")
+    fn = [d for d in unit.decls if isinstance(d, A.FuncDef)][0]
+    stmt = fn.body.items[0]
+    assert isinstance(stmt, A.ExprStmt)
+    assert isinstance(stmt.expr, A.Assign)
+    return stmt.expr.value
+
+
+def parse_stmts(body):
+    unit = parse(f"void f(void) {{ {body} }}")
+    fn = [d for d in unit.decls if isinstance(d, A.FuncDef)][0]
+    return fn.body.items
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        unit = parse("int x;")
+        d = unit.decls[0]
+        assert isinstance(d, A.VarDecl) and d.name == "x"
+
+    def test_global_with_init(self):
+        d = parse("int x = 3;").decls[0]
+        assert isinstance(d.init.expr, A.IntLit)
+
+    def test_multi_declarator(self):
+        unit = parse("int x, y, z;")
+        assert [d.name for d in unit.decls] == ["x", "y", "z"]
+
+    def test_array_decl(self):
+        d = parse("float a[10];").decls[0]
+        assert len(d.declarator.array_dims) == 1
+
+    def test_2d_array_decl(self):
+        d = parse("int m[2][3];").decls[0]
+        assert len(d.declarator.array_dims) == 2
+
+    def test_qualifiers(self):
+        d = parse("static volatile const unsigned int x;").decls[0]
+        assert d.is_static and d.is_volatile and d.is_const
+
+    def test_struct_definition(self):
+        unit = parse("struct s { int a; float b; }; struct s v;")
+        spec = unit.decls[0].type_spec
+        assert isinstance(spec, A.StructSpec) and len(spec.fields) == 2
+
+    def test_enum_definition(self):
+        unit = parse("enum e { A, B = 5, C };")
+        spec = unit.decls[0].type_spec
+        assert isinstance(spec, A.EnumSpec)
+        assert [m[0] for m in spec.members] == ["A", "B", "C"]
+
+    def test_typedef(self):
+        unit = parse("typedef unsigned int uint; uint x;")
+        assert isinstance(unit.decls[0], A.TypedefDecl)
+        assert isinstance(unit.decls[1], A.VarDecl)
+
+    def test_union_rejected(self):
+        with pytest.raises(UnsupportedConstructError):
+            parse("union u { int a; };")
+
+    def test_unsized_array_rejected(self):
+        with pytest.raises(UnsupportedConstructError):
+            parse("int a[];")
+
+
+class TestFunctions:
+    def test_definition_and_params(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        fn = unit.decls[0]
+        assert isinstance(fn, A.FuncDef)
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+    def test_void_params(self):
+        fn = parse("void f(void) {}").decls[0]
+        assert fn.params == []
+
+    def test_prototype(self):
+        fn = parse("int g(int x);").decls[0]
+        assert fn.body is None
+
+    def test_pointer_param(self):
+        fn = parse("void f(int *p) {}").decls[0]
+        assert fn.params[0].declarator.pointer_depth == 1
+
+
+class TestStatements:
+    def test_if_else(self):
+        s = parse_stmts("if (1) ; else ;")[0]
+        assert isinstance(s, A.IfStmt) and s.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        s = parse_stmts("if (1) if (2) ; else ;")[0]
+        assert s.other is None
+        assert isinstance(s.then, A.IfStmt) and s.then.other is not None
+
+    def test_while(self):
+        s = parse_stmts("while (x < 3) { }")[0]
+        assert isinstance(s, A.WhileStmt)
+
+    def test_do_while(self):
+        s = parse_stmts("do { } while (0);")[0]
+        assert isinstance(s, A.DoWhileStmt)
+
+    def test_for_full(self):
+        s = parse_stmts("for (i = 0; i < 10; i++) ;")[0]
+        assert isinstance(s, A.ForStmt)
+        assert s.init is not None and s.cond is not None and s.step is not None
+
+    def test_for_empty_clauses(self):
+        s = parse_stmts("for (;;) break;")[0]
+        assert s.init is None and s.cond is None and s.step is None
+
+    def test_for_with_declaration(self):
+        s = parse_stmts("for (int i = 0; i < 3; i++) ;")[0]
+        assert isinstance(s.init, A.DeclStmt)
+
+    def test_return_value(self):
+        unit = parse("int f(void) { return 42; }")
+        s = unit.decls[0].body.items[0]
+        assert isinstance(s, A.ReturnStmt) and isinstance(s.value, A.IntLit)
+
+    def test_break_continue(self):
+        stmts = parse_stmts("while(1) { break; } while(1) { continue; }")
+        assert isinstance(stmts[0].body.items[0], A.BreakStmt)
+        assert isinstance(stmts[1].body.items[0], A.ContinueStmt)
+
+    def test_local_declaration(self):
+        s = parse_stmts("int x = 1;")[0]
+        assert isinstance(s, A.DeclStmt)
+
+    def test_goto_rejected(self):
+        with pytest.raises(UnsupportedConstructError):
+            parse_stmts("goto end;")
+
+    def test_nested_blocks_get_distinct_ids(self):
+        unit = parse("void f(void) { { int a; } { int b; } }")
+        fn = unit.decls[0]
+        b1, b2 = fn.body.items
+        assert b1.block_id != b2.block_id != fn.body.block_id
+
+
+class TestSwitch:
+    def test_simple_switch(self):
+        s = parse_stmts("switch (x) { case 1: y = 1; break; default: y = 0; }")[0]
+        assert isinstance(s, A.SwitchStmt)
+        assert len(s.cases) == 2
+        assert s.cases[1].value is None
+
+    def test_stacked_case_labels(self):
+        s = parse_stmts("switch (x) { case 1: case 2: y = 1; break; }")[0]
+        assert len(s.cases) == 2
+        assert s.cases[0].falls_through
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, A.Binary) and e.op == "+"
+        assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expr("1 - 2 - 3")
+        assert e.op == "-" and isinstance(e.left, A.Binary)
+
+    def test_comparison_precedence(self):
+        e = parse_expr("a + 1 < b * 2")
+        assert e.op == "<"
+
+    def test_logical_precedence(self):
+        e = parse_expr("a && b || c")
+        assert e.op == "||"
+
+    def test_ternary(self):
+        e = parse_expr("a ? b : c")
+        assert isinstance(e, A.Conditional)
+
+    def test_unary_minus(self):
+        e = parse_expr("-a")
+        assert isinstance(e, A.Unary) and e.op == "-"
+
+    def test_logical_not(self):
+        e = parse_expr("!a")
+        assert e.op == "!"
+
+    def test_cast(self):
+        e = parse_expr("(float)i")
+        assert isinstance(e, A.Cast)
+
+    def test_call_with_args(self):
+        e = parse_expr("f(1, a + 2)")
+        assert isinstance(e, A.Call) and len(e.args) == 2
+
+    def test_array_index(self):
+        e = parse_expr("a[i + 1]")
+        assert isinstance(e, A.Index)
+
+    def test_member_access(self):
+        e = parse_expr("s.f")
+        assert isinstance(e, A.Member) and not e.arrow
+
+    def test_chained_member_index(self):
+        e = parse_expr("s.a[2]")
+        assert isinstance(e, A.Index) and isinstance(e.base, A.Member)
+
+    def test_address_of(self):
+        e = parse_expr("f(&x)" )
+        assert isinstance(e.args[0], A.Unary) and e.args[0].op == "&"
+
+    def test_assignment_in_expression(self):
+        e = parse_expr("a = b")
+        assert isinstance(e, A.Assign)
+
+    def test_compound_assignment(self):
+        stmts = parse_stmts("x += 2;")
+        assert stmts[0].expr.op == "+="
+
+    def test_sizeof_type(self):
+        e = parse_expr("sizeof(int)")
+        assert isinstance(e, A.SizeOf)
+
+    def test_string_literal_rejected(self):
+        with pytest.raises(UnsupportedConstructError):
+            parse_expr('"str"')
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(ParseError):
+            parse("int x = ;")
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse("int x = 3")

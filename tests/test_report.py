@@ -1,0 +1,84 @@
+"""Tests for report rendering."""
+
+import json
+
+import pytest
+
+from repro import AnalyzerConfig, analyze
+from repro.report import render_json, render_markdown, write_report
+
+CLEAN = """
+int x;
+int main(void) { x = 1; return 0; }
+"""
+
+BUGGY = """
+volatile int v; int x;
+int main(void) { x = 1 / v; return 0; }
+"""
+
+LOOPY = """
+volatile int v; int c;
+int main(void) {
+    while (1) {
+        if (v) { if (c < 100) { c = c + 1; } }
+        __ASTREE_wait_for_clock();
+    }
+    return 0;
+}
+"""
+
+
+class TestMarkdown:
+    def test_clean_report_says_proved(self):
+        r = analyze(CLEAN)
+        md = render_markdown(r)
+        assert "proved" in md
+        assert "Alarms (0)" in md
+
+    def test_buggy_report_lists_alarm(self):
+        r = analyze(BUGGY, config=AnalyzerConfig(input_ranges={"v": (0, 3)}))
+        md = render_markdown(r)
+        assert "division-by-zero" in md
+        assert "Alarms (1)" in md
+
+    def test_invariant_section_with_loops(self):
+        cfg = AnalyzerConfig(input_ranges={"v": (0, 1)},
+                             collect_invariants=True)
+        r = analyze(LOOPY, config=cfg)
+        md = render_markdown(r)
+        assert "Main loop invariant" in md
+        assert "| clock |" in md
+
+    def test_custom_title(self):
+        r = analyze(CLEAN)
+        assert render_markdown(r, title="My run").startswith("# My run")
+
+
+class TestJson:
+    def test_round_trips(self):
+        r = analyze(BUGGY, config=AnalyzerConfig(input_ranges={"v": (0, 3)}))
+        payload = json.loads(render_json(r))
+        assert payload["alarm_count"] == 1
+        assert payload["alarms"][0]["kind"] == "division-by-zero"
+        assert payload["packing"]["octagon_packs"] >= 0
+        assert "invariant_stats" in payload
+
+    def test_useful_packs_serialized(self):
+        r = analyze(CLEAN)
+        payload = json.loads(render_json(r))
+        assert isinstance(payload["packing"]["useful_octagon_packs"], list)
+
+
+class TestWrite:
+    def test_write_markdown(self, tmp_path):
+        r = analyze(CLEAN)
+        path = tmp_path / "out.md"
+        write_report(r, str(path))
+        assert "Analysis report" in path.read_text()
+
+    def test_write_json_by_extension(self, tmp_path):
+        r = analyze(CLEAN)
+        path = tmp_path / "out.json"
+        write_report(r, str(path))
+        json.loads(path.read_text())

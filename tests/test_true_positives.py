@@ -1,0 +1,175 @@
+"""Failure injection: genuine bugs the analyzer must report.
+
+Soundness means *every* real run-time error is covered by an alarm.  Each
+test plants a true error reachable under the declared input ranges and
+checks the refined analyzer (with every precision feature enabled) still
+reports it — precision features must never mask real errors.
+"""
+
+import pytest
+
+from repro import AnalyzerConfig, analyze
+from repro.iterator.alarms import AlarmKind
+
+
+def kinds(r):
+    return {a.kind for a in r.alarms}
+
+
+def run(src, **ranges):
+    return analyze(src, config=AnalyzerConfig(input_ranges=ranges))
+
+
+class TestTrueErrors:
+    def test_unguarded_division(self):
+        src = """
+        volatile int v; int x;
+        int main(void) { int d = v; x = 100 / d; return 0; }
+        """
+        assert AlarmKind.DIV_BY_ZERO in kinds(run(src, v=(0, 5)))
+
+    def test_unchecked_array_write(self):
+        src = """
+        volatile int v; float a[8];
+        int main(void) { int i = v; a[i] = 1.0f; return 0; }
+        """
+        assert AlarmKind.ARRAY_OOB in kinds(run(src, v=(0, 8)))
+
+    def test_off_by_one_loop(self):
+        src = """
+        float a[8]; float x;
+        int main(void) {
+            int i;
+            for (i = 0; i <= 8; i++) { x = a[i]; }
+            return 0;
+        }
+        """
+        assert AlarmKind.ARRAY_OOB in kinds(run(src))
+
+    def test_counter_without_saturation_overflows(self):
+        """An int counter incremented freely (not once-per-tick) overflows."""
+        src = """
+        volatile int v; int c;
+        int main(void) {
+            c = 0;
+            while (1) {
+                c = c + v;   /* up to 1000 per cycle: clock cannot bound */
+                __ASTREE_wait_for_clock();
+            }
+            return 0;
+        }
+        """
+        r = analyze(src, config=AnalyzerConfig(input_ranges={"v": (0, 1000)},
+                                               max_clock=3_600_000_000))
+        assert AlarmKind.INT_OVERFLOW in kinds(r)
+
+    def test_filter_with_unstable_coefficients(self):
+        """a^2 - 4b >= 0 (real poles, |pole| > 1): genuinely divergent —
+        the ellipsoid domain must NOT apply and the overflow is reported."""
+        src = """
+        volatile float vin;
+        float X, Y;
+        int main(void) {
+            float t, Xp;
+            X = 0.0f; Y = 0.0f;
+            while (1) {
+                t = vin;
+                Xp = 2.5f * X - 0.9f * Y + t;   /* unstable */
+                Y = X;
+                X = Xp;
+                __ASTREE_wait_for_clock();
+            }
+            return 0;
+        }
+        """
+        r = run(src, vin=(-1.0, 1.0))
+        assert AlarmKind.FLOAT_OVERFLOW in kinds(r)
+        # The site must not be (incorrectly) claimed by the ellipsoid domain.
+        assert r.filter_site_count == 0
+
+    def test_sqrt_of_negative_input(self):
+        src = """
+        volatile float v; float x;
+        int main(void) { x = sqrtf(v); return 0; }
+        """
+        assert AlarmKind.INVALID_OP in kinds(run(src, v=(-5.0, 5.0)))
+
+    def test_cast_loses_range(self):
+        src = """
+        volatile float v; short s;
+        int main(void) { s = (short)v; return 0; }
+        """
+        assert AlarmKind.CAST_RANGE in kinds(run(src, v=(0.0, 1e6)))
+
+    def test_violated_user_assertion(self):
+        src = """
+        volatile int v; int x;
+        int main(void) {
+            x = v * 2;
+            __ASTREE_assert(x < 100);
+            return 0;
+        }
+        """
+        assert AlarmKind.ASSERT_FAIL in kinds(run(src, v=(0, 60)))
+
+    def test_shift_by_input(self):
+        src = """
+        volatile int v; int x;
+        int main(void) { x = 1 << v; return 0; }
+        """
+        assert AlarmKind.SHIFT_RANGE in kinds(run(src, v=(0, 32)))
+
+    def test_error_behind_boolean_guard_still_found(self):
+        """A decision tree must not eliminate a division that IS reachable:
+        here B is true when X == 0, and the division runs under B."""
+        src = """
+        volatile int vin;
+        int X; _Bool B; float Y;
+        int main(void) {
+            X = vin;
+            B = (X == 0);
+            if (B) { Y = 100.0f / X; }   /* divides exactly when X == 0 */
+            return 0;
+        }
+        """
+        assert AlarmKind.DIV_BY_ZERO in kinds(run(src, vin=(0, 100)))
+
+    def test_bug_in_generated_family_variant(self):
+        """Planting a bug into a family program is detected."""
+        from repro.synth import FamilySpec, generate_program
+
+        gp = generate_program(FamilySpec(target_kloc=0.2, seed=5))
+        bugged = gp.source.replace(
+            "int main(void) {",
+            "int main(void) {\n    { int z = 0; z = 5 / z; }", 1)
+        r = analyze(bugged, "bugged.c", config=gp.analyzer_config())
+        assert AlarmKind.DIV_BY_ZERO in kinds(r)
+
+
+class TestPrecisionDoesNotMaskErrors:
+    """Every feature toggled ON must keep the true alarms of a buggy
+    program (features refine over-approximations, never drop executions)."""
+
+    SRC = """
+    volatile int v; int x; float a[4];
+    int main(void) {
+        int d = v;
+        x = 100 / d;          /* true division by zero (v may be 0) */
+        a[d] = 1.0f;          /* true out-of-bounds (v may be 10) */
+        return 0;
+    }
+    """
+
+    @pytest.mark.parametrize("overrides", [
+        {},
+        {"octagon_pivot_reduction": True},
+        {"default_unroll": 3},
+        {"widening_delay": 6},
+        {"partition_functions": {"main"}},
+    ], ids=["default", "pivot-reduction", "more-unrolling",
+            "longer-delay", "partitioning"])
+    def test_true_alarms_survive(self, overrides):
+        cfg = AnalyzerConfig(input_ranges={"v": (0, 10)}, **overrides)
+        r = analyze(self.SRC, config=cfg)
+        assert AlarmKind.DIV_BY_ZERO in kinds(r)
+        assert AlarmKind.ARRAY_OOB in kinds(r)
