@@ -1,0 +1,101 @@
+"""E-parallel — wall-clock time of the parallel engine vs sequential.
+
+Monniaux's parallel Astrée dispatches near-independent control-flow
+branches to worker processes with byte-identical results.  This benchmark
+analyzes an independent-subsystem program (the shape that scheme targets)
+sequentially and with ``jobs=4`` and records both wall times, the
+dispatch counters and the host core count.
+
+Identity of the two alarm reports is asserted hard; the speedup itself is
+only *recorded*: a single-core CI container cannot promise one (the
+parallel run then pays pickling overhead with no parallelism to buy it
+back), and the honest number is the point of the table.
+"""
+
+import os
+import time
+
+from repro.analysis import analyze_program
+from repro.config import AnalyzerConfig
+from repro.frontend import compile_source
+
+from .conftest import SCALE, print_table
+
+JOBS = 4
+
+
+def _subsystem_source(nsub: int, width: int) -> str:
+    lines = []
+    for k in range(nsub):
+        lines.append(f"volatile float in{k}_a;")
+        lines.append(f"volatile int in{k}_b;")
+        lines.append(f"float s{k}_x; float s{k}_y; float s{k}_tab[{width}];")
+        lines.append(f"int s{k}_mode; int s{k}_count;")
+    for k in range(nsub):
+        lines.append(f"""
+void step_{k}(void) {{
+    float e; int j;
+    e = in{k}_a;
+    if (e > 100.0f) {{ e = 100.0f; }}
+    if (e < -100.0f) {{ e = -100.0f; }}
+    s{k}_mode = in{k}_b;
+    j = 0;
+    while (j < {width}) {{
+        s{k}_tab[j] = 0.8f * s{k}_tab[j] + 0.2f * e;
+        j = j + 1;
+    }}
+    s{k}_x = 0.9f * s{k}_x + 0.1f * e;
+    if (s{k}_mode) {{ s{k}_y = s{k}_x; }} else {{ s{k}_y = 0.0f; }}
+    if (s{k}_count < 1000) {{ s{k}_count = s{k}_count + 1; }}
+}}""")
+    lines.append("int main(void) {")
+    lines.append("  while (1) {")
+    for k in range(nsub):
+        lines.append(f"    step_{k}();")
+    lines.append("    __ASTREE_wait_for_clock();")
+    lines.append("  }")
+    lines.append("  return 0;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+class TestParallelSpeedup:
+    def test_parallel_vs_sequential_wall_time(self, benchmark):
+        nsub = max(4, int(round(8 * SCALE)))
+        width = 12
+        src = _subsystem_source(nsub, width)
+        ranges = {}
+        for k in range(nsub):
+            ranges[f"in{k}_a"] = (-500.0, 500.0)
+            ranges[f"in{k}_b"] = (0.0, 1.0)
+        cfg = AnalyzerConfig(input_ranges=ranges, max_clock=100_000,
+                             parallel_min_stmts=8)
+        prog = compile_source(src, "subsystems.c")
+
+        def run():
+            t0 = time.perf_counter()
+            seq = analyze_program(prog, cfg, jobs=1)
+            t_seq = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            par = analyze_program(prog, cfg, jobs=JOBS)
+            t_par = time.perf_counter() - t0
+            return seq, t_seq, par, t_par
+
+        seq, t_seq, par, t_par = benchmark.pedantic(run, rounds=1,
+                                                    iterations=1)
+
+        def key(result):
+            return [(a.kind, a.loc.line, a.loc.col, a.message)
+                    for a in result.alarms]
+
+        assert key(seq) == key(par), "parallel alarms diverged"
+        assert par.parallel_regions > 0, "nothing was dispatched"
+        speedup = t_seq / t_par if t_par > 0 else float("inf")
+        print_table(
+            f"Parallel engine — sequential vs jobs={JOBS} "
+            f"({os.cpu_count()} host cores)",
+            ("subsystems", "seq (s)", f"jobs={JOBS} (s)", "speedup",
+             "regions", "tasks", "alarms"),
+            [(nsub, f"{t_seq:.2f}", f"{t_par:.2f}", f"{speedup:.2f}x",
+              par.parallel_regions, par.parallel_tasks, par.alarm_count)],
+        )

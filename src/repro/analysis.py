@@ -68,6 +68,17 @@ class AnalysisResult:
     loop_invariants: Dict[int, AbstractState] = field(default_factory=dict)
     # sid -> abstract visit count (only populated when config.trace is on).
     visit_counts: Dict[int, int] = field(default_factory=dict)
+    # Per-phase wall time: parse, packing, iteration, checking (Fig. 2's
+    # measurement axes).
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    # Peak resident set size in KiB (self + worker children), 0 if the
+    # resource module is unavailable.
+    peak_rss_kib: int = 0
+    # Parallel engine feedback (0 when jobs=1).
+    jobs: int = 1
+    parallel_regions: int = 0
+    parallel_tasks: int = 0
+    branch_dispatches: int = 0
 
     @property
     def alarm_count(self) -> int:
@@ -156,21 +167,47 @@ class AnalysisResult:
 
 def analyze(source, filename: str = "<input>",
             config: Optional[AnalyzerConfig] = None,
-            entry: str = "main") -> AnalysisResult:
+            entry: str = "main",
+            jobs: Optional[int] = None) -> AnalysisResult:
     """Analyze C source text (a string) or a list of (name, text) units."""
     if config is None:
         config = AnalyzerConfig()
+    parse_start = time.perf_counter()
     if isinstance(source, str):
         prog = compile_source(source, filename, entry=entry)
     else:
         prog = link_sources(list(source), entry=entry)
-    return analyze_program(prog, config)
+    parse_seconds = time.perf_counter() - parse_start
+    return analyze_program(prog, config, jobs=jobs,
+                           parse_seconds=parse_seconds)
 
 
-def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None) -> AnalysisResult:
-    """Analyze an already-lowered IR program."""
+def _peak_rss_kib() -> int:
+    """Peak RSS of this process plus its (worker) children, in KiB."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+           + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        rss //= 1024
+    return int(rss)
+
+
+def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
+                    jobs: Optional[int] = None,
+                    parse_seconds: float = 0.0) -> AnalysisResult:
+    """Analyze an already-lowered IR program.
+
+    ``jobs`` overrides ``config.jobs``; any value > 1 attaches the
+    parallel engine (bit-identical results, see repro.parallel).
+    """
     if config is None:
         config = AnalyzerConfig()
+    jobs = config.jobs if jobs is None else jobs
     start = time.perf_counter()
     table = CellTable.for_program(prog, config.expand_threshold)
     oct_packs = compute_octagon_packs(prog, table, config)
@@ -179,10 +216,23 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None) ->
     ctx = AnalysisContext(prog=prog, config=config, table=table,
                           oct_packs=oct_packs, bool_packs=bool_packs,
                           filter_sites=sites)
+    packing_seconds = time.perf_counter() - start
     alarms = AlarmCollector()
     it = Iterator(ctx, alarms)
-    final = it.run(checking=True)
+    engine = None
+    if jobs > 1:
+        from .parallel import ParallelEngine
+
+        engine = ParallelEngine(ctx, jobs)
+        it.parallel = engine
+    try:
+        final = it.run(checking=True)
+    finally:
+        if engine is not None:
+            engine.close()
     elapsed = time.perf_counter() - start
+    checking_seconds = max(0.0, elapsed - packing_seconds
+                           - it.fixpoint_seconds)
     useful = frozenset(
         oct_packs.pack(pid).key for pid in ctx.useful_oct_packs
     )
@@ -200,4 +250,15 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None) ->
         filter_site_count=len(sites),
         loop_invariants=it.loop_invariants,
         visit_counts=it.visit_counts,
+        phase_times={
+            "parse": parse_seconds,
+            "packing": packing_seconds,
+            "iteration": it.fixpoint_seconds,
+            "checking": checking_seconds,
+        },
+        peak_rss_kib=_peak_rss_kib(),
+        jobs=jobs,
+        parallel_regions=0 if engine is None else engine.parallel_regions,
+        parallel_tasks=0 if engine is None else engine.parallel_tasks,
+        branch_dispatches=0 if engine is None else engine.branch_dispatches,
     )

@@ -46,7 +46,24 @@ def _build_config(args) -> AnalyzerConfig:
         overrides["enable_decision_trees"] = False
     if args.invariants:
         overrides["collect_invariants"] = True
+    if getattr(args, "jobs", None) is not None:
+        overrides["jobs"] = args.jobs
     return base.with_overrides(**overrides)
+
+
+def _print_stats(result) -> None:
+    pt = result.phase_times
+    print("-- stats --")
+    for phase in ("parse", "packing", "iteration", "checking"):
+        print(f"  {phase:<10} {pt.get(phase, 0.0):8.3f}s")
+    print(f"  total      {result.analysis_time:8.3f}s")
+    print(f"  peak RSS   {result.peak_rss_kib / 1024.0:8.1f} MiB")
+    print(f"  widening iterations: {result.widening_iterations}")
+    if result.jobs > 1:
+        print(f"  jobs: {result.jobs} "
+              f"(regions={result.parallel_regions}, "
+              f"tasks={result.parallel_tasks}, "
+              f"branch dispatches={result.branch_dispatches})")
 
 
 def cmd_analyze(args) -> int:
@@ -70,6 +87,12 @@ def cmd_analyze(args) -> int:
             "bool_packs": result.bool_pack_count,
             "filter_sites": result.filter_site_count,
         }
+        if args.stats or args.profile_phases:
+            payload["phase_times_s"] = result.phase_times
+            payload["peak_rss_kib"] = result.peak_rss_kib
+            payload["jobs"] = result.jobs
+            payload["parallel_regions"] = result.parallel_regions
+            payload["parallel_tasks"] = result.parallel_tasks
         print(json.dumps(payload, indent=2))
     else:
         for a in result.alarms:
@@ -80,6 +103,8 @@ def cmd_analyze(args) -> int:
               f"{len(result.useful_octagon_packs)} useful; "
               f"{result.bool_pack_count} boolean packs; "
               f"{result.filter_site_count} filter sites)")
+        if args.stats or args.profile_phases:
+            _print_stats(result)
         if args.invariants:
             print("-- main loop invariant --")
             print(result.dump_invariant_text())
@@ -140,6 +165,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     pa.add_argument("--no-trees", action="store_true")
     pa.add_argument("--invariants", action="store_true",
                     help="dump the main loop invariant")
+    pa.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="analysis worker processes (default 1 = "
+                         "sequential; results are identical either way)")
+    pa.add_argument("--stats", action="store_true",
+                    help="report per-phase wall time and peak RSS")
+    pa.add_argument("--profile-phases", dest="profile_phases",
+                    action="store_true",
+                    help="alias of --stats (phase breakdown)")
     pa.add_argument("--json", action="store_true")
     pa.add_argument("--strict", action="store_true",
                     help="exit nonzero when alarms remain")

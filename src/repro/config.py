@@ -83,6 +83,16 @@ class AnalyzerConfig:
     # however, this precision gain was not needed in our experiments").
     octagon_pivot_reduction: bool = False
 
+    # -- parallel engine ---------------------------------------------------------
+    # Number of analysis worker processes.  1 (the default) runs the
+    # exact sequential path; N > 1 partitions independent work units
+    # across a process pool (results stay bit-identical to jobs=1).
+    jobs: int = 1
+    # Minimal total footprint weight (roughly: statement count, loop
+    # bodies scaled up) a block region must have before its units are
+    # dispatched to workers rather than run inline.
+    parallel_min_stmts: int = 48
+
     # -- reporting --------------------------------------------------------------------
     collect_invariants: bool = False
     # Tracing facilities (Sect. 5.3): when on, the iterator counts abstract

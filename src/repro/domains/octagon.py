@@ -63,6 +63,10 @@ class Octagon:
 
     __slots__ = ("n", "m", "_closed", "_bottom", "_closed_cache")
 
+    #: Number of cubic Floyd-Warshall closures actually run (all
+    #: instances).  Monitored by tests asserting the cache is consumed.
+    closure_computations = 0
+
     def __init__(self, n: int, m: Optional[np.ndarray] = None,
                  closed: bool = False, bottom: bool = False):
         self.n = n
@@ -73,6 +77,19 @@ class Octagon:
         self._closed = closed
         self._bottom = bottom
         self._closed_cache: Optional["Octagon"] = None
+
+    # -- serialization -----------------------------------------------------------
+    #
+    # Widening requires RAW (unclosed) left matrices, so pickling must
+    # preserve the matrix and the ``_closed`` flag exactly; only the
+    # derived closure cache is dropped.
+
+    def __getstate__(self):
+        return (self.n, self.m, self._closed, self._bottom)
+
+    def __setstate__(self, state):
+        self.n, self.m, self._closed, self._bottom = state
+        self._closed_cache = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -111,6 +128,7 @@ class Octagon:
             out = Octagon(self.n, self.m, closed=True)
             self._closed_cache = out
             return out
+        Octagon.closure_computations += 1
         m = self.m.copy()
         size = 2 * self.n
         for k in range(self.n):
@@ -150,6 +168,12 @@ class Octagon:
             return other
         if other._bottom:
             return self
+        if self is other:
+            return self.closed()
+        # ``closed()`` consumes ``_closed_cache`` when present, so already
+        # closed operands cost nothing here; the entry-wise max of two
+        # closed matrices is closed, hence the result is tagged closed and
+        # never re-runs the cubic closure.
         a = self.closed()
         b = other.closed()
         return Octagon(self.n, np.maximum(a.m, b.m), closed=True)
@@ -199,6 +223,8 @@ class Octagon:
             return True
         if self._bottom:
             return False
+        if self is other:
+            return True
         return bool(np.all(other.closed().m <= self.m))
 
     def equal(self, other: "Octagon") -> bool:

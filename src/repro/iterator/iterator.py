@@ -28,6 +28,7 @@ user-selected functions by analyzing ``if (c) {S1} else {S2} rest`` as
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -98,6 +99,12 @@ class Iterator:
         self.widening_iterations: int = 0
         # sid -> abstract visit count (when cfg.trace, Sect. 5.3 tracing).
         self.visit_counts: Dict[int, int] = {}
+        # Optional parallel engine (set by analyze_program when jobs > 1).
+        self.parallel = None
+        # Wall time spent inside outermost loop fixpoints ("iteration"
+        # phase); the rest of the run is the checking phase.
+        self.fixpoint_seconds: float = 0.0
+        self._fixpoint_depth: int = 0
 
     # -- top level -----------------------------------------------------------------
 
@@ -134,6 +141,11 @@ class Iterator:
     # -- statement sequences -----------------------------------------------------------
 
     def exec_block(self, state: AbstractState, stmts: Sequence[I.Stmt]) -> Flow:
+        if (self.parallel is not None and len(stmts) > 1
+                and not state.is_bottom and not self._partitioning_active()):
+            flow = self.parallel.try_exec_sequence(self, state, stmts)
+            if flow is not None:
+                return flow
         flow = Flow(normal=state)
         i = 0
         while i < len(stmts):
@@ -184,8 +196,19 @@ class Iterator:
                                                 s.sid, s.loc)
                     f_state = self.guards.guard(flow.normal, s.cond, False,
                                                 s.sid, s.loc)
-                    fl_t = self.exec_block(t_state, list(s.then) + rest)
-                    fl_f = self.exec_block(f_state, list(s.other) + rest)
+                    pair = None
+                    if self.parallel is not None:
+                        # Trace-partition splits become parallel work
+                        # units, each carrying its pre-state.
+                        pair = self.parallel.try_exec_branches(
+                            self,
+                            (t_state, list(s.then) + rest),
+                            (f_state, list(s.other) + rest))
+                    if pair is not None:
+                        fl_t, fl_f = pair
+                    else:
+                        fl_t = self.exec_block(t_state, list(s.then) + rest)
+                        fl_f = self.exec_block(f_state, list(s.other) + rest)
                 finally:
                     self._partition_budget += 1
                 branch_flow = fl_t.join(fl_f)
@@ -594,9 +617,14 @@ class Iterator:
             return entry
         was_checking = self.alarms.checking
         self.alarms.checking = False
+        self._fixpoint_depth += 1
+        start = time.perf_counter() if self._fixpoint_depth == 1 else 0.0
         try:
             return self._loop_fixpoint_inner(entry, s)
         finally:
+            if self._fixpoint_depth == 1:
+                self.fixpoint_seconds += time.perf_counter() - start
+            self._fixpoint_depth -= 1
             self.alarms.checking = was_checking
 
     def _loop_fixpoint_inner(self, entry: AbstractState, s: I.SWhile) -> AbstractState:
@@ -611,8 +639,13 @@ class Iterator:
             target = entry.join(after)
             if inv.includes(target):
                 break  # post-fixpoint reached (exact check, Sect. 7.1.4)
-            # Floating iteration perturbation: iterate with F-hat.
-            changed = list(inv.env.diff_cids(target.env))
+            # Floating iteration perturbation: iterate with F-hat.  The
+            # sharing-aware diff over-approximates the changed set (it is
+            # based on physical identity), so value-equal cells are
+            # filtered out: inflating them would perturb the fixpoint
+            # based on incidental sharing rather than semantic change.
+            changed = [cid for cid in inv.env.diff_cids(target.env)
+                       if inv.env.get(cid) != target.env.get(cid)]
             target = target.inflate_floats(eps, changed)
             unstable = _unstable_cells(inv, target)
             newly_stable = (prev_unstable is not None

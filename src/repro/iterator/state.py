@@ -38,7 +38,31 @@ from ..packing.boolean_packs import BoolPacking
 from ..packing.ellipsoid_sites import FilterSites
 from ..packing.octagon_packs import OctagonPacking
 
-__all__ = ["AnalysisContext", "AbstractState"]
+__all__ = ["AnalysisContext", "AbstractState", "set_active_context",
+           "get_active_context"]
+
+# Process-wide context registry (parallel engine support).  Pickled
+# AbstractStates carry domain content only; the heavy AnalysisContext is
+# installed once per process and re-attached during unpickling.
+_ACTIVE_CONTEXT: Optional["AnalysisContext"] = None
+
+
+def set_active_context(ctx: Optional["AnalysisContext"]) -> None:
+    global _ACTIVE_CONTEXT
+    _ACTIVE_CONTEXT = ctx
+
+
+def get_active_context() -> Optional["AnalysisContext"]:
+    return _ACTIVE_CONTEXT
+
+
+def _rebuild_state(env, octagons, dtrees, ellipsoids):
+    ctx = _ACTIVE_CONTEXT
+    if ctx is None:
+        raise RuntimeError(
+            "unpickling an AbstractState requires set_active_context() "
+            "to have installed the AnalysisContext in this process")
+    return AbstractState(ctx, env, octagons, dtrees, ellipsoids)
 
 
 @dataclass
@@ -77,6 +101,12 @@ class AbstractState:
         self.octagons = octagons      # pack_id -> Octagon
         self.dtrees = dtrees          # pack_id -> DecisionTree
         self.ellipsoids = ellipsoids  # site_id -> float k (inf = top)
+
+    def __reduce__(self):
+        # The context never crosses the process boundary with the state:
+        # workers re-attach their own installed copy (see _rebuild_state).
+        return (_rebuild_state,
+                (self.env, self.octagons, self.dtrees, self.ellipsoids))
 
     # -- constructors -----------------------------------------------------------
 

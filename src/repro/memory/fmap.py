@@ -190,7 +190,16 @@ def _merge(a: Optional[_Node], b: Optional[_Node],
         return _map_values_opt(b, missing_a) if missing_a is not None else None
     if b is None:
         return _map_values_opt(a, missing_b) if missing_b is not None else None
-    bl, bv, found, br = _split(b, a.key)
+    if b.key == a.key:
+        # Equal roots: recurse on the original subtrees.  Splitting here
+        # would rebuild ``b``'s children and destroy the physical identity
+        # the recursive ``a is b`` shortcut depends on; trees derived from
+        # one another by ``set`` (the common case during iteration) share
+        # their whole shape, so this path keeps the merge proportional to
+        # the number of differing cells (Sect. 6.1.2).
+        bl, bv, found, br = b.left, b.value, True, b.right
+    else:
+        bl, bv, found, br = _split(b, a.key)
     new_left = _merge(a.left, bl, combine, missing_a, missing_b)
     new_right = _merge(a.right, br, combine, missing_a, missing_b)
     if found:
@@ -261,7 +270,10 @@ def _diff_keys(a: Optional[_Node], b: Optional[_Node]) -> Iterator[Any]:
         for k, _ in _iter_items(a):
             yield k
         return
-    bl, bv, found, br = _split(b, a.key)
+    if b.key == a.key:
+        bl, bv, found, br = b.left, b.value, True, b.right
+    else:
+        bl, bv, found, br = _split(b, a.key)
     yield from _diff_keys(a.left, bl)
     if not found or bv is not a.value:
         yield a.key
@@ -369,6 +381,16 @@ class PMap:
     def diff_keys(self, other: "PMap") -> Iterator[Any]:
         """Keys whose values are not physically shared between the maps."""
         return _diff_keys(self._root, other._root)
+
+    def ptr_equal(self, other: "PMap") -> bool:
+        """Physical identity of the underlying trees (constant time)."""
+        return self._root is other._root
+
+    def __reduce__(self):
+        # Serialize as the item list: tree nodes are an implementation
+        # detail, and rebuilding through ``from_items`` keeps pickles
+        # small and version-independent.
+        return (PMap.from_items, (list(self.items()),))
 
     def equal(self, other: "PMap", value_eq: Callable[[Any, Any], bool]) -> bool:
         """Equality with physical-identity shortcut on shared subtrees."""

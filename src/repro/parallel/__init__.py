@@ -1,0 +1,14 @@
+"""Parallel fixpoint engine (Monniaux's scheme).
+
+The analysis of the synchronous main loop parallelizes by partitioning
+the program's control flow into independent work units — maximal runs of
+top-level statements with disjoint read/write footprints, and the two
+sides of a trace-partition split — each carrying its pre-state to a
+worker process.  Worker post-states come back as deltas against the
+pre-state and are merged deterministically in program order, so parallel
+results are bit-identical to the sequential analysis.
+"""
+
+from .executor import ParallelEngine
+
+__all__ = ["ParallelEngine"]

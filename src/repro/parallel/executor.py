@@ -1,0 +1,553 @@
+"""Process-based parallel execution of independent work units.
+
+Two dispatch shapes, both following Monniaux's parallelization of the
+analyzer:
+
+* **sequences** — a block's top-level statements are partitioned into
+  maximal footprint-independent units (see :mod:`.footprints`); each unit
+  abstractly executes from the *region pre-state* in a worker process and
+  returns a delta, which the parent applies in program order;
+* **trace-partition branches** — the two sides of a partitioned ``if``
+  each carry their own guarded pre-state to a worker and come back as
+  independent flows that the iterator joins as usual.
+
+Determinism: a worker's post-state is encoded as the pointer-diff of its
+state against the unpickled pre-state (per cell / octagon pack / boolean
+pack / filter site, both directions, plus bottom flags).  The parent
+patches its *own* objects with those deltas in unit order, so unchanged
+entries keep their physical identity — downstream sharing shortcuts and
+diff-based joins behave exactly as in the sequential run, and alarms are
+replayed through the parent's collector in program order.  The result is
+bit-identical to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..frontend import ir as I
+from ..iterator.alarms import AlarmCollector
+from ..iterator.state import AbstractState, set_active_context
+from ..memory.environment import MemoryEnv
+from ..memory.fmap import PMap
+from .footprints import Footprint, FootprintAnalyzer
+
+__all__ = ["ParallelEngine", "plan_sequence", "PlanSegment"]
+
+
+# ---------------------------------------------------------------------------
+# Partition planning
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PlanSegment:
+    kind: str                                   # 'seq' | 'par'
+    start: int                                  # [start, end) into the block
+    end: int
+    units: Optional[List[Tuple[int, int]]] = None
+    unit_fps: Optional[List[Footprint]] = None
+
+
+def plan_sequence(stmts: Sequence[I.Stmt], fps: Sequence[Footprint],
+                  min_weight: int) -> Optional[List[PlanSegment]]:
+    """Greedy left-to-right partition of a block into work units.
+
+    A statement conflicting with unit ``k`` coalesces units ``k..last``
+    plus itself into one unit: interleaved units are forbidden because
+    per-cell last-writer order could not be reproduced by whole-unit
+    delta application.  Barrier statements (escaping control flow, clock
+    ticks, unresolved effects) flush the open region.  Returns ``None``
+    when no segment is worth dispatching.
+
+    A region is dispatched only when it has at least two units heavy
+    enough to amortize a worker round-trip (weight >= min_weight / 2
+    each) and its total weight reaches ``min_weight``.
+    """
+    segments: List[PlanSegment] = []
+    units: List[Tuple[int, int, Footprint]] = []
+    unit_floor = max(1, min_weight // 2)
+
+    def emit_seq(a: int, b: int) -> None:
+        if segments and segments[-1].kind == "seq" and segments[-1].end == a:
+            segments[-1].end = b
+        else:
+            segments.append(PlanSegment("seq", a, b))
+
+    def flush() -> None:
+        nonlocal units
+        weight = sum(u[2].weight for u in units)
+        heavy = sum(1 for u in units if u[2].weight >= unit_floor)
+        if len(units) >= 2 and heavy >= 2 and weight >= min_weight:
+            segments.append(PlanSegment(
+                "par", units[0][0], units[-1][1],
+                units=[(a, b) for a, b, _ in units],
+                unit_fps=[fp for _, _, fp in units]))
+        elif units:
+            emit_seq(units[0][0], units[-1][1])
+        units = []
+
+    for i, (s, fp) in enumerate(zip(stmts, fps)):
+        if fp.is_barrier:
+            flush()
+            emit_seq(i, i + 1)
+            continue
+        first_conflict = None
+        for j, (_, _, ufp) in enumerate(units):
+            if ufp.conflicts_with(fp):
+                first_conflict = j
+                break
+        if first_conflict is None:
+            units.append((i, i + 1, fp))
+        else:
+            start = units[first_conflict][0]
+            merged = Footprint()
+            for _, _, ufp in units[first_conflict:]:
+                merged.merge(ufp)
+            merged.merge(fp)
+            units[first_conflict:] = [(start, i + 1, merged)]
+    flush()
+    if not any(seg.kind == "par" for seg in segments):
+        return None
+    return segments
+
+
+# ---------------------------------------------------------------------------
+# State deltas (pointer diffs against a task's pre-state)
+# ---------------------------------------------------------------------------
+
+# A delta is (bottom, clock, cells, octs, trees, ells) where each map
+# delta is a list of (key, value-or-None); None means "absent on the
+# worker side".  ``cells`` is None when the worker state is bottom (its
+# cell map is empty by construction of to_bottom()).
+
+
+def _map_delta(after: PMap, before: PMap) -> List[Tuple]:
+    missing = object()
+    out = []
+    for key in after.diff_keys(before):
+        v = after.get(key, missing)
+        out.append((key, None if v is missing else v))
+    return out
+
+
+def _state_delta(base: AbstractState, st: AbstractState):
+    bottom = st.env.is_bottom
+    cells = None if bottom else _map_delta(st.env.cells, base.env.cells)
+    return (bottom, st.env.clock,
+            cells,
+            _map_delta(st.octagons, base.octagons),
+            _map_delta(st.dtrees, base.dtrees),
+            _map_delta(st.ellipsoids, base.ellipsoids))
+
+
+def _apply_map_delta(m: PMap, delta) -> PMap:
+    for key, v in delta:
+        m = m.remove(key) if v is None else m.set(key, v)
+    return m
+
+
+def _apply_delta(ctx, base: AbstractState, delta) -> AbstractState:
+    bottom, clock, cells_d, octs_d, trees_d, ells_d = delta
+    if bottom:
+        env = MemoryEnv(PMap.empty(), clock, bottom=True)
+    else:
+        env = MemoryEnv(_apply_map_delta(base.env.cells, cells_d), clock)
+    return AbstractState(ctx, env,
+                         _apply_map_delta(base.octagons, octs_d),
+                         _apply_map_delta(base.dtrees, trees_d),
+                         _apply_map_delta(base.ellipsoids, ells_d))
+
+
+def _flow_delta(base: AbstractState, flow) -> Tuple:
+    return (_state_delta(base, flow.normal),
+            None if flow.brk is None else _state_delta(base, flow.brk),
+            None if flow.cont is None else _state_delta(base, flow.cont),
+            None if flow.ret is None else _state_delta(base, flow.ret),
+            flow.ret_val)
+
+
+# ---------------------------------------------------------------------------
+# Footprint projection: the slice of the state a work unit can touch
+# ---------------------------------------------------------------------------
+
+def _projection(ctx, fp: Footprint):
+    """Closure of the footprint over domain structure: all cells of every
+    touched octagon/boolean pack (guard injection and tree refinement may
+    consult any member) and the X/Y/T cells of every touched filter site
+    (pre-join ellipsoid reduction reads their intervals)."""
+    cids = set(fp.reads) | set(fp.writes)
+    packs = fp.read_packs | fp.write_packs
+    bpacks = fp.read_bpacks | fp.write_bpacks
+    for pid in packs:
+        cids.update(ctx.oct_packs.pack(pid).cids)
+    for pid in bpacks:
+        p = ctx.bool_packs.pack(pid)
+        cids.update(p.bool_cids)
+        cids.update(p.numeric_cids)
+    for site_id in fp.sites:
+        site = ctx.filter_sites.site(site_id)
+        cids.update((site.x_cid, site.y_cid, site.t_cid))
+    return cids, packs, bpacks, set(fp.sites)
+
+
+def _project_state(ctx, state: AbstractState, proj) -> AbstractState:
+    """Restrict a state to a projection.  Sound because the unit only
+    ever touches projected entries (footprint over-approximation), and
+    lattice operations treat a key absent from both operands exactly as
+    one whose operands are physically identical: it stays unchanged —
+    which is what the parent-side delta application implements."""
+    cids, packs, bpacks, sites = proj
+    missing = object()
+
+    def pick(m: PMap, keys):
+        items = []
+        for k in sorted(keys):
+            v = m.get(k, missing)
+            if v is not missing:
+                items.append((k, v))
+        return PMap.from_items(items)
+
+    env = MemoryEnv(pick(state.env.cells, cids), state.env.clock)
+    return AbstractState(ctx, env,
+                         pick(state.octagons, packs),
+                         pick(state.dtrees, bpacks),
+                         pick(state.ellipsoids, sites))
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+_WORKER_CTX = None
+_WORKER_SIDS: Optional[Dict[int, I.Stmt]] = None
+_FORK_CTX = None  # staging slot read by forked children's initializer
+
+
+def _install_context(ctx) -> None:
+    global _WORKER_CTX, _WORKER_SIDS
+    _WORKER_CTX = ctx
+    set_active_context(ctx)
+    index: Dict[int, I.Stmt] = {}
+    for fn in ctx.prog.functions.values():
+        if fn.body:
+            for s in I.iter_stmts(fn.body):
+                index[s.sid] = s
+    _WORKER_SIDS = index
+
+
+def _worker_init_fork() -> None:
+    _install_context(_FORK_CTX)
+
+
+def _worker_init_spawn(ctx_blob: bytes) -> None:
+    _install_context(pickle.loads(ctx_blob))
+
+
+def _run_tasks(payload: dict) -> List[Tuple[int, dict]]:
+    from ..iterator.iterator import Iterator
+
+    ctx = _WORKER_CTX
+    states = [pickle.loads(blob) for blob in payload["states"]]
+    out = []
+    for task_id, state_idx, sids, unit in payload["tasks"]:
+        base = states[state_idx]
+        collector = AlarmCollector()
+        collector.checking = payload["checking"]
+        it = Iterator(ctx, collector)
+        it._fn_stack = list(payload["fn_stack"])
+        it.tr.bindings = [dict(frame) for frame in payload["bindings"]]
+        it._partition_budget = payload["budget"]
+        ctx.useful_oct_packs.clear()
+        ctx.useful_bool_packs.clear()
+        stmts = [_WORKER_SIDS[sid] for sid in sids]
+        flow = it.exec_block(base, stmts)
+        if unit and (flow.brk is not None or flow.cont is not None
+                     or flow.ret is not None):
+            raise RuntimeError(
+                "parallel work unit escaped; the partitioner should have "
+                "treated it as a barrier")
+        out.append((task_id, {
+            "flow": _flow_delta(base, flow),
+            "alarms": [(a.kind, a.sid, a.loc, a.message)
+                       for a in collector._alarms],
+            "useful_oct": set(ctx.useful_oct_packs),
+            "useful_bool": set(ctx.useful_bool_packs),
+            "widening": it.widening_iterations,
+            "visits": sorted(it.visit_counts.items()),
+            "invariants": sorted(
+                (lid, _state_delta(base, inv))
+                for lid, inv in it.loop_invariants.items()),
+        }))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+class ParallelEngine:
+    """Owns the process pool, partition plans, and deterministic merge."""
+
+    def __init__(self, ctx, jobs: int):
+        self.ctx = ctx
+        self.jobs = max(1, int(jobs))
+        self.analyzer = FootprintAnalyzer(ctx)
+        self._plans: Dict[Tuple, Optional[List[PlanSegment]]] = {}
+        self._pool = None
+        self._disabled = False
+        # Statistics surfaced through AnalysisResult.
+        self.parallel_regions = 0
+        self.parallel_tasks = 0
+        self.branch_dispatches = 0
+        set_active_context(ctx)
+
+    # -- pool lifecycle --------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing as mp
+
+            global _FORK_CTX
+            try:
+                mpctx = mp.get_context("fork")
+                _FORK_CTX = self.ctx
+                self._pool = mpctx.Pool(self.jobs,
+                                        initializer=_worker_init_fork)
+            except ValueError:
+                mpctx = mp.get_context("spawn")
+                blob = pickle.dumps(self.ctx, pickle.HIGHEST_PROTOCOL)
+                self._pool = mpctx.Pool(self.jobs,
+                                        initializer=_worker_init_spawn,
+                                        initargs=(blob,))
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch(self, it, blobs: List[bytes],
+                  tasks: List[Tuple[int, int, List[int], bool]]) -> List[dict]:
+        pool = self._ensure_pool()
+        common = {
+            "fn_stack": list(it._fn_stack),
+            "bindings": [dict(frame) for frame in it.tr.bindings],
+            "budget": it._partition_budget,
+            "checking": it.alarms.checking,
+        }
+        n = min(self.jobs, len(tasks))
+        chunks = [tasks[i::n] for i in range(n)]
+        handles = []
+        for chunk in chunks:
+            if not chunk:
+                continue
+            # Ship only the pre-states this chunk's tasks reference.
+            used = sorted({state_idx for _, state_idx, _, _ in chunk})
+            remap = {orig: local for local, orig in enumerate(used)}
+            local_tasks = [(tid, remap[si], sids, unit)
+                           for tid, si, sids, unit in chunk]
+            payload = dict(common, states=[blobs[i] for i in used],
+                           tasks=local_tasks)
+            handles.append(pool.apply_async(_run_tasks, (payload,)))
+        results: Dict[int, dict] = {}
+        for h in handles:
+            for task_id, res in h.get():
+                results[task_id] = res
+        return [results[i] for i in range(len(tasks))]
+
+    def _merge_stats(self, it, base: AbstractState, res: dict) -> None:
+        for kind, sid, loc, msg in res["alarms"]:
+            it.alarms.report(kind, sid, loc, msg)
+        self.ctx.useful_oct_packs.update(res["useful_oct"])
+        self.ctx.useful_bool_packs.update(res["useful_bool"])
+        it.widening_iterations += res["widening"]
+        for sid, n in res["visits"]:
+            it.visit_counts[sid] = it.visit_counts.get(sid, 0) + n
+        for lid, delta in res["invariants"]:
+            inv = _apply_delta(self.ctx, base, delta)
+            prev = it.loop_invariants.get(lid)
+            it.loop_invariants[lid] = inv if prev is None else prev.join(inv)
+
+    def _flow_from(self, base: AbstractState, delta):
+        from ..iterator.iterator import Flow
+
+        normal_d, brk_d, cont_d, ret_d, ret_val = delta
+        return Flow(
+            normal=_apply_delta(self.ctx, base, normal_d),
+            brk=None if brk_d is None else _apply_delta(self.ctx, base, brk_d),
+            cont=(None if cont_d is None
+                  else _apply_delta(self.ctx, base, cont_d)),
+            ret=None if ret_d is None else _apply_delta(self.ctx, base, ret_d),
+            ret_val=ret_val,
+        )
+
+    # -- iterator hooks --------------------------------------------------------
+
+    def try_exec_sequence(self, it, state: AbstractState,
+                          stmts: Sequence[I.Stmt]):
+        """Partitioned execution of a block; None defers to sequential."""
+        if self._disabled or self.jobs < 2:
+            return None
+        plan = self._plan_for(it, stmts)
+        if plan is None:
+            return None
+        from ..iterator.iterator import Flow
+
+        flow = Flow(normal=state)
+        for seg in plan:
+            for i in range(seg.start, seg.end) if seg.kind == "seq" else ():
+                if flow.normal.is_bottom:
+                    return flow
+                sub = it.exec_stmt(flow.normal, stmts[i])
+                flow = _fold_flow(flow, sub)
+            if seg.kind != "par":
+                continue
+            if flow.normal.is_bottom:
+                return flow
+            out = self._run_region(it, flow, stmts, seg)
+            if out is None:  # dispatch failure: fall back mid-block
+                for i in range(seg.start, seg.end):
+                    if flow.normal.is_bottom:
+                        return flow
+                    sub = it.exec_stmt(flow.normal, stmts[i])
+                    flow = _fold_flow(flow, sub)
+            else:
+                flow = out
+        return flow
+
+    def _run_region(self, it, flow, stmts, seg: PlanSegment):
+        base = flow.normal
+        try:
+            # Each unit ships only its footprint's slice of the state:
+            # blobs stay small no matter how large the program grows.
+            bases = [
+                _project_state(self.ctx, base, self._projection_for(seg, ti))
+                for ti in range(len(seg.units))
+            ]
+            blobs = [pickle.dumps(b, pickle.HIGHEST_PROTOCOL)
+                     for b in bases]
+            tasks = [
+                (ti, ti, [stmts[i].sid for i in range(a, b)], True)
+                for ti, (a, b) in enumerate(seg.units)
+            ]
+            results = self._dispatch(it, blobs, tasks)
+        except Exception:
+            self._disabled = True  # e.g. unpicklable state; stay sequential
+            return None
+        self.parallel_regions += 1
+        self.parallel_tasks += len(tasks)
+        cur = flow.normal
+        for res in results:
+            if cur.is_bottom:
+                # Sequential execution would never have reached the
+                # remaining units: drop their results entirely.
+                break
+            # Invariant deltas are rebuilt against the composite *before*
+            # this unit's writes land: cells outside the unit's footprint
+            # must show the values earlier units gave them, exactly as in
+            # the sequential snapshot.
+            self._merge_stats(it, cur, res)
+            cur = _apply_delta(self.ctx, cur, res["flow"][0])
+        from ..iterator.iterator import Flow
+
+        return Flow(normal=cur, brk=flow.brk, cont=flow.cont, ret=flow.ret,
+                    ret_val=flow.ret_val)
+
+    def _projection_for(self, seg: PlanSegment, ti: int):
+        key = ("proj", id(seg), ti)
+        proj = self._plans.get(key)
+        if proj is None:
+            proj = _projection(self.ctx, seg.unit_fps[ti])
+            self._plans[key] = proj
+        return proj
+
+    def try_exec_branches(self, it, t_task, f_task):
+        """Run the two sides of a trace-partition split in parallel.
+
+        Unlike sequence units the two branches are *alternatives*: no
+        conflict analysis is needed, only resolvability (a worker must
+        not grow the cell table) and enough weight to pay for dispatch.
+        """
+        if self._disabled or self.jobs < 2:
+            return None
+        t_state, t_stmts = t_task
+        f_state, f_stmts = f_task
+        if t_state.is_bottom or f_state.is_bottom:
+            return None  # one side is free: not worth a round-trip
+        fps = self._branch_footprints(it, t_stmts, f_stmts)
+        if fps is None:
+            return None
+        try:
+            blobs = [pickle.dumps(t_state, pickle.HIGHEST_PROTOCOL),
+                     pickle.dumps(f_state, pickle.HIGHEST_PROTOCOL)]
+            tasks = [(0, 0, [s.sid for s in t_stmts], False),
+                     (1, 1, [s.sid for s in f_stmts], False)]
+            res_t, res_f = self._dispatch(it, blobs, tasks)
+        except Exception:
+            self._disabled = True
+            return None
+        self.branch_dispatches += 1
+        self.parallel_tasks += 2
+        # Program order: the sequential iterator analyzes the then-side
+        # first, so its alarms replay first.
+        self._merge_stats(it, t_state, res_t)
+        self._merge_stats(it, f_state, res_f)
+        return (self._flow_from(t_state, res_t["flow"]),
+                self._flow_from(f_state, res_f["flow"]))
+
+    # -- plans -----------------------------------------------------------------
+
+    def _bindings_key(self, it) -> Tuple:
+        return tuple(sorted(
+            (uid, repr(lv))
+            for frame in it.tr.bindings for uid, lv in frame.items()))
+
+    def _plan_for(self, it, stmts) -> Optional[List[PlanSegment]]:
+        key = (stmts[0].sid, stmts[-1].sid, len(stmts),
+               self._bindings_key(it))
+        if key in self._plans:
+            return self._plans[key]
+        fps = [self.analyzer.stmt_footprint(s, it.tr.bindings)
+               for s in stmts]
+        plan = plan_sequence(stmts, fps,
+                             self.ctx.config.parallel_min_stmts)
+        self._plans[key] = plan
+        return plan
+
+    def _branch_footprints(self, it, t_stmts, f_stmts) -> Optional[int]:
+        """Combined weight of both branches, or None if undispatchable."""
+        key = ("branch",
+               t_stmts[0].sid if t_stmts else -1, len(t_stmts),
+               f_stmts[0].sid if f_stmts else -1, len(f_stmts),
+               self._bindings_key(it))
+        if key in self._plans:
+            return self._plans[key]
+        weight = 0
+        ok = True
+        for s in list(t_stmts) + list(f_stmts):
+            fp = self.analyzer.stmt_footprint(s, it.tr.bindings)
+            if fp.unresolved:
+                ok = False
+                break
+            weight += fp.weight
+        result = (weight if ok
+                  and weight >= self.ctx.config.parallel_min_stmts else None)
+        self._plans[key] = result
+        return result
+
+
+def _fold_flow(flow, sub):
+    from ..iterator.iterator import Flow, _join_opt, _join_opt_val
+
+    return Flow(
+        normal=sub.normal,
+        brk=_join_opt(flow.brk, sub.brk),
+        cont=_join_opt(flow.cont, sub.cont),
+        ret=_join_opt(flow.ret, sub.ret),
+        ret_val=_join_opt_val(flow.ret_val, sub.ret_val),
+    )

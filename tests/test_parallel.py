@@ -1,0 +1,277 @@
+"""The parallel fixpoint engine: bit-identical determinism and planning.
+
+Monniaux's parallelization of Astrée splits the analyzed interval of
+control flow into independent work units and requires the parallel run to
+produce *byte-identical* results.  These tests hold ``jobs=4`` to that
+standard against ``jobs=1`` on three synthesized program families: alarms
+(including order), the main loop invariant dump, invariant statistics,
+packing-usefulness feedback, widening counts, and abstract visit counts.
+
+The programs are compiled once and analyzed twice: statement ids come
+from a global counter, so recompiling would shift the key space of
+``visit_counts`` without any semantic difference.
+"""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.config import AnalyzerConfig
+from repro.frontend import compile_source
+from repro.parallel.executor import plan_sequence
+from repro.parallel.footprints import Footprint
+from repro.synth import FamilySpec, generate_program
+
+JOBS = 4
+
+
+# ---------------------------------------------------------------------------
+# Planner unit tests
+# ---------------------------------------------------------------------------
+
+
+def _fp(reads=(), writes=(), packs=(), weight=10, **flags) -> Footprint:
+    fp = Footprint(reads=set(reads), writes=set(writes),
+                   write_packs=set(packs), read_packs=set(packs),
+                   weight=weight)
+    for k, v in flags.items():
+        setattr(fp, k, v)
+    return fp
+
+
+def _plan(fps, min_weight=20):
+    return plan_sequence([object()] * len(fps), fps, min_weight)
+
+
+class TestPlanSequence:
+    def test_independent_units_form_one_region(self):
+        fps = [_fp(writes={i}, reads={i}) for i in range(4)]
+        plan = _plan(fps)
+        assert plan is not None and len(plan) == 1
+        seg = plan[0]
+        assert seg.kind == "par"
+        assert seg.units == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_write_read_conflict_coalesces_suffix(self):
+        # unit1 writes cell 0; stmt 3 reads it: units 1..2 + stmt 3 merge.
+        fps = [_fp(writes={9}, reads={9}),
+               _fp(writes={0}, reads={0}),
+               _fp(writes={1}, reads={1}),
+               _fp(writes={2}, reads={0, 2})]
+        plan = _plan(fps)
+        assert plan is not None and len(plan) == 1
+        assert plan[0].units == [(0, 1), (1, 4)]
+
+    def test_write_write_is_not_a_conflict(self):
+        # Pure WW on a cell is fine: the later unit's delta wins, exactly
+        # as sequential execution would order the strong updates.
+        fps = [_fp(writes={0}), _fp(writes={0})]
+        plan = _plan(fps)
+        assert plan is not None
+        assert plan[0].units == [(0, 1), (1, 2)]
+
+    def test_pack_touch_conflicts(self):
+        # Octagon updates are RMW at pack granularity.
+        fps = [_fp(packs={5}), _fp(packs={5})]
+        assert _plan(fps) is None  # one merged unit: nothing to dispatch
+
+    def test_barrier_flushes_region(self):
+        fps = [_fp(writes={0}, reads={0}),
+               _fp(writes={1}, reads={1}),
+               _fp(weight=1, has_wait=True),
+               _fp(writes={2}, reads={2}),
+               _fp(writes={3}, reads={3})]
+        plan = _plan(fps)
+        assert plan is not None
+        kinds = [seg.kind for seg in plan]
+        assert kinds == ["par", "seq", "par"]
+        assert plan[1].start, plan[1].end == (2, 3)
+
+    def test_total_weight_floor(self):
+        fps = [_fp(writes={0}, reads={0}, weight=5),
+               _fp(writes={1}, reads={1}, weight=5)]
+        assert _plan(fps, min_weight=20) is None
+        assert _plan(fps, min_weight=10) is not None
+
+    def test_per_unit_weight_floor(self):
+        # One heavy and one feather-weight unit: the round-trip for the
+        # light unit costs more than it saves, so no dispatch.
+        fps = [_fp(writes={0}, reads={0}, weight=100),
+               _fp(writes={1}, reads={1}, weight=1)]
+        assert _plan(fps, min_weight=20) is None
+
+    def test_unresolved_is_barrier(self):
+        fps = [_fp(writes={0}, reads={0}),
+               _fp(unresolved=True),
+               _fp(writes={1}, reads={1})]
+        plan = _plan(fps)
+        assert plan is None  # one unit on each side of the barrier
+
+
+class TestConflictModel:
+    def test_cell_write_then_read(self):
+        assert _fp(writes={1}).conflicts_with(_fp(reads={1}))
+        assert not _fp(writes={1}).conflicts_with(_fp(reads={2}))
+
+    def test_cell_read_then_write_is_fine(self):
+        # The earlier unit runs from the shared pre-state; a later write
+        # cannot retroactively change what it read.
+        assert not _fp(reads={1}).conflicts_with(_fp(writes={1}))
+
+    def test_pack_granularity(self):
+        a = Footprint(write_packs={3})
+        assert a.conflicts_with(Footprint(read_packs={3}))
+        assert a.conflicts_with(Footprint(write_packs={3}))
+        assert not a.conflicts_with(Footprint(read_packs={4}))
+
+    def test_filter_sites_always_conflict(self):
+        assert Footprint(sites={2}).conflicts_with(Footprint(sites={2}))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end determinism
+# ---------------------------------------------------------------------------
+
+
+def _subsystem_source(nsub: int, width: int) -> str:
+    """``nsub`` independent filter subsystems stepped from one main loop:
+    the program shape Monniaux's scheme targets (near-independent
+    dispatch branches)."""
+    lines = []
+    for k in range(nsub):
+        lines.append(f"volatile float in{k}_a;")
+        lines.append(f"volatile int in{k}_b;")
+        lines.append(f"float s{k}_x; float s{k}_y; float s{k}_tab[{width}];")
+        lines.append(f"int s{k}_mode; int s{k}_count;")
+    for k in range(nsub):
+        lines.append(f"""
+void step_{k}(void) {{
+    float e; int j;
+    e = in{k}_a;
+    if (e > 100.0f) {{ e = 100.0f; }}
+    if (e < -100.0f) {{ e = -100.0f; }}
+    s{k}_mode = in{k}_b;
+    j = 0;
+    while (j < {width}) {{
+        s{k}_tab[j] = 0.8f * s{k}_tab[j] + 0.2f * e;
+        j = j + 1;
+    }}
+    s{k}_x = 0.9f * s{k}_x + 0.1f * e;
+    if (s{k}_mode) {{ s{k}_y = s{k}_x; }} else {{ s{k}_y = 0.0f; }}
+    if (s{k}_count < 1000) {{ s{k}_count = s{k}_count + 1; }}
+}}""")
+    lines.append("int main(void) {")
+    lines.append("  while (1) {")
+    for k in range(nsub):
+        lines.append(f"    step_{k}();")
+    lines.append("    __ASTREE_wait_for_clock();")
+    lines.append("  }")
+    lines.append("  return 0;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _partitioned_source() -> str:
+    """A relay-style choice in a partitioned main: the then/else states
+    both stay feasible, so the trace-partitioning split dispatches the
+    two sides to workers."""
+    return """
+volatile float in_a;
+volatile int in_sel;
+float x; float y; float acc; float tab[10];
+int main(void) {
+  float e; int j; int sel;
+  while (1) {
+    e = in_a;
+    if (e > 100.0f) { e = 100.0f; }
+    if (e < -100.0f) { e = -100.0f; }
+    sel = in_sel;
+    if (sel) {
+      j = 0;
+      while (j < 10) { tab[j] = 0.5f * tab[j] + e; j = j + 1; }
+      x = 0.75f * x + 0.25f * e;
+      acc = acc * 0.5f + x;
+    } else {
+      j = 0;
+      while (j < 10) { tab[j] = 0.25f * tab[j] - e; j = j + 1; }
+      y = 0.5f * y - 0.5f * e;
+      acc = acc * 0.5f + y;
+    }
+    __ASTREE_wait_for_clock();
+  }
+  return 0;
+}
+"""
+
+
+def _snapshot(result) -> dict:
+    stats = result.invariant_stats()
+    return {
+        "alarms": [(a.kind, a.loc.filename, a.loc.line, a.loc.col, a.message)
+                   for a in result.alarms],
+        "invariant": result.dump_invariant_text(),
+        "stats": (stats.boolean_interval_assertions,
+                  stats.interval_assertions,
+                  stats.clock_assertions,
+                  stats.octagonal_additive_assertions,
+                  stats.octagonal_subtractive_assertions,
+                  stats.decision_trees,
+                  stats.ellipsoidal_assertions),
+        "useful_oct": sorted(result.useful_octagon_packs),
+        "useful_bool": result.useful_bool_pack_count,
+        "widening": result.widening_iterations,
+        "visits": sorted(result.visit_counts.items()),
+    }
+
+
+def _compare(prog, cfg):
+    seq = analyze_program(prog, cfg, jobs=1)
+    par = analyze_program(prog, cfg, jobs=JOBS)
+    assert _snapshot(seq) == _snapshot(par)
+    return seq, par
+
+
+class TestDeterminism:
+    def test_independent_subsystems(self):
+        src = _subsystem_source(nsub=6, width=10)
+        ranges = {}
+        for k in range(6):
+            ranges[f"in{k}_a"] = (-500.0, 500.0)
+            ranges[f"in{k}_b"] = (0.0, 1.0)
+        cfg = AnalyzerConfig(input_ranges=ranges, max_clock=10_000,
+                             parallel_min_stmts=8, trace=True,
+                             collect_invariants=True)
+        prog = compile_source(src, "subsystems.c")
+        seq, par = _compare(prog, cfg)
+        assert par.parallel_regions > 0, "no region was dispatched"
+        assert par.parallel_tasks >= 2 * par.parallel_regions
+
+    def test_trace_partitioned_branches(self):
+        cfg = AnalyzerConfig(
+            input_ranges={"in_a": (-400.0, 400.0), "in_sel": (0.0, 1.0)},
+            max_clock=10_000, partition_functions={"main"},
+            parallel_min_stmts=8, trace=True, collect_invariants=True)
+        prog = compile_source(_partitioned_source(), "relay.c")
+        seq, par = _compare(prog, cfg)
+        assert par.branch_dispatches > 0, "no branch pair was dispatched"
+
+    def test_synth_family(self):
+        # The generated family is densely coupled (guarded neighbour
+        # reads), so few or no regions qualify — determinism must hold
+        # regardless of how much actually runs remotely.
+        gp = generate_program(FamilySpec(target_kloc=0.3, seed=11))
+        cfg = gp.analyzer_config(trace=True, collect_invariants=True,
+                                 parallel_min_stmts=12)
+        prog = compile_source(gp.source, "family.c")
+        _compare(prog, cfg)
+
+    def test_jobs_flag_reaches_result(self):
+        src = _subsystem_source(nsub=2, width=4)
+        ranges = {"in0_a": (-1.0, 1.0), "in0_b": (0.0, 1.0),
+                  "in1_a": (-1.0, 1.0), "in1_b": (0.0, 1.0)}
+        cfg = AnalyzerConfig(input_ranges=ranges, max_clock=100, jobs=2)
+        prog = compile_source(src, "tiny.c")
+        res = analyze_program(prog, cfg)
+        assert res.jobs == 2
+        res1 = analyze_program(prog, cfg, jobs=1)
+        assert res1.jobs == 1
+        assert res1.parallel_regions == 0
