@@ -26,6 +26,8 @@ from .numeric import FloatInterval, IntInterval
 from .packing.boolean_packs import compute_bool_packs
 from .packing.ellipsoid_sites import find_filter_sites
 from .packing.octagon_packs import compute_octagon_packs
+from .supervisor import IncidentLog, Supervisor
+from .supervisor.incidents import Incident
 
 __all__ = ["analyze", "analyze_program", "AnalysisResult", "InvariantStats"]
 
@@ -79,10 +81,31 @@ class AnalysisResult:
     parallel_regions: int = 0
     parallel_tasks: int = 0
     branch_dispatches: int = 0
+    # Supervisor feedback (repro.supervisor): every fault or budget trip
+    # the run absorbed, whether degradation rungs were applied, which
+    # ones, and whether the run was restored from a checkpoint.
+    incidents: List[Incident] = field(default_factory=list)
+    degraded: bool = False
+    degradation_steps: List[str] = field(default_factory=list)
+    resumed: bool = False
 
     @property
     def alarm_count(self) -> int:
         return len(self.alarms)
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit-code contract (see repro.errors.ExitCode):
+        degraded runs report 2 even when alarms are present — the verdict
+        is sound but coarser than requested, which callers must be able
+        to distinguish from a full-precision alarm list."""
+        from .errors import ExitCode
+
+        if self.degraded:
+            return int(ExitCode.DEGRADED)
+        if self.alarms:
+            return int(ExitCode.ALARMS)
+        return int(ExitCode.PROVED)
 
     def alarms_by_kind(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
@@ -184,17 +207,20 @@ def analyze(source, filename: str = "<input>",
 
 def _peak_rss_kib() -> int:
     """Peak RSS of this process plus its (worker) children, in KiB."""
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return 0
-    rss = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-           + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
-    import sys
+    from .supervisor.budget import peak_rss_kib
 
-    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
-        rss //= 1024
-    return int(rss)
+    return peak_rss_kib()
+
+
+def _needs_supervisor(config: AnalyzerConfig) -> bool:
+    return any((
+        config.wall_deadline_s is not None,
+        config.rss_limit_kib is not None,
+        config.stmt_timeout_s is not None,
+        config.checkpoint_path is not None,
+        config.resume_path is not None,
+        config.checkpoint_halt_after is not None,
+    ))
 
 
 def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
@@ -204,10 +230,23 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
 
     ``jobs`` overrides ``config.jobs``; any value > 1 attaches the
     parallel engine (bit-identical results, see repro.parallel).
+
+    When any supervisor feature is enabled (resource budget, checkpoint
+    or resume path), the run is wrapped in a :class:`Supervisor`; the
+    degradation ladder then mutates a *copy* of ``config`` so the
+    caller's instance is never touched.
     """
     if config is None:
         config = AnalyzerConfig()
     jobs = config.jobs if jobs is None else jobs
+    incidents = IncidentLog()
+    sup: Optional[Supervisor] = None
+    if _needs_supervisor(config):
+        import dataclasses
+
+        # The ladder mutates the config in place; give the run its own.
+        config = dataclasses.replace(config)
+        sup = Supervisor(config, incidents=incidents)
     start = time.perf_counter()
     table = CellTable.for_program(prog, config.expand_threshold)
     oct_packs = compute_octagon_packs(prog, table, config)
@@ -216,18 +255,27 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
     ctx = AnalysisContext(prog=prog, config=config, table=table,
                           oct_packs=oct_packs, bool_packs=bool_packs,
                           filter_sites=sites)
+    if sup is not None:
+        sup.attach_context(ctx)
     packing_seconds = time.perf_counter() - start
     alarms = AlarmCollector()
     it = Iterator(ctx, alarms)
+    it.supervisor = sup
     engine = None
     if jobs > 1:
         from .parallel import ParallelEngine
 
-        engine = ParallelEngine(ctx, jobs)
+        engine = ParallelEngine(ctx, jobs, incidents=incidents)
         it.parallel = engine
+        if sup is not None:
+            sup.engine = engine
     try:
+        if sup is not None:
+            sup.start()
         final = it.run(checking=True)
     finally:
+        if sup is not None:
+            sup.stop()
         if engine is not None:
             engine.close()
     elapsed = time.perf_counter() - start
@@ -261,4 +309,8 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
         parallel_regions=0 if engine is None else engine.parallel_regions,
         parallel_tasks=0 if engine is None else engine.parallel_tasks,
         branch_dispatches=0 if engine is None else engine.branch_dispatches,
+        incidents=incidents.incidents,
+        degraded=False if sup is None else sup.degraded,
+        degradation_steps=[] if sup is None else list(sup.ladder.applied),
+        resumed=False if sup is None else sup.resumed,
     )

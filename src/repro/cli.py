@@ -5,6 +5,11 @@ Subcommands:
 * ``analyze FILE...`` — analyze C sources and print alarms;
 * ``generate --kloc N --seed S`` — emit a family program to stdout;
 * ``slice FILE --line L`` — backward slice from the alarm nearest a line.
+
+Exit codes (``analyze``; see :class:`repro.errors.ExitCode` and
+docs/robustness.md): 0 all properties proved, 1 alarms at full
+precision, 2 sound-but-degraded verdict (a resource budget tripped),
+3 internal error / no verdict.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import List, Optional
 
 from .analysis import analyze
 from .config import AnalyzerConfig, baseline_config
+from .errors import ExitCode, ReproError
 
 __all__ = ["main"]
 
@@ -48,6 +54,18 @@ def _build_config(args) -> AnalyzerConfig:
         overrides["collect_invariants"] = True
     if getattr(args, "jobs", None) is not None:
         overrides["jobs"] = args.jobs
+    if getattr(args, "deadline", None) is not None:
+        overrides["wall_deadline_s"] = args.deadline
+    if getattr(args, "max_rss", None) is not None:
+        overrides["rss_limit_kib"] = int(args.max_rss * 1024)
+    if getattr(args, "stmt_timeout", None) is not None:
+        overrides["stmt_timeout_s"] = args.stmt_timeout
+    if getattr(args, "checkpoint", None) is not None:
+        overrides["checkpoint_path"] = args.checkpoint
+    if getattr(args, "checkpoint_every", None) is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "resume", None) is not None:
+        overrides["resume_path"] = args.resume
     return base.with_overrides(**overrides)
 
 
@@ -64,6 +82,11 @@ def _print_stats(result) -> None:
               f"(regions={result.parallel_regions}, "
               f"tasks={result.parallel_tasks}, "
               f"branch dispatches={result.branch_dispatches})")
+    if result.incidents:
+        print(f"  incidents ({len(result.incidents)}):")
+        for inc in result.incidents:
+            print(f"    [{inc.at_s:8.3f}s] {inc.kind}: {inc.action} "
+                  f"— {inc.detail}")
 
 
 def cmd_analyze(args) -> int:
@@ -86,6 +109,15 @@ def cmd_analyze(args) -> int:
             "useful_octagon_packs": len(result.useful_octagon_packs),
             "bool_packs": result.bool_pack_count,
             "filter_sites": result.filter_site_count,
+            "degraded": result.degraded,
+            "degradation_steps": result.degradation_steps,
+            "resumed": result.resumed,
+            "incidents": [
+                {"kind": i.kind, "action": i.action, "detail": i.detail,
+                 "at_s": i.at_s}
+                for i in result.incidents
+            ],
+            "exit_code": result.exit_code,
         }
         if args.stats or args.profile_phases:
             payload["phase_times_s"] = result.phase_times
@@ -103,12 +135,18 @@ def cmd_analyze(args) -> int:
               f"{len(result.useful_octagon_packs)} useful; "
               f"{result.bool_pack_count} boolean packs; "
               f"{result.filter_site_count} filter sites)")
+        if result.degraded:
+            print("-- DEGRADED: a resource budget tripped; the verdict is "
+                  "sound but coarser than the configured precision "
+                  f"(rungs applied: {', '.join(result.degradation_steps)})")
+        if result.resumed:
+            print("-- resumed from checkpoint")
         if args.stats or args.profile_phases:
             _print_stats(result)
         if args.invariants:
             print("-- main loop invariant --")
             print(result.dump_invariant_text())
-    return 1 if result.alarm_count and args.strict else 0
+    return result.exit_code
 
 
 def cmd_generate(args) -> int:
@@ -175,7 +213,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="alias of --stats (phase breakdown)")
     pa.add_argument("--json", action="store_true")
     pa.add_argument("--strict", action="store_true",
-                    help="exit nonzero when alarms remain")
+                    help="deprecated no-op: alarms now exit 1 by default "
+                         "(see the exit-code contract)")
+    pa.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="wall-clock budget; on overrun the analysis "
+                         "degrades to a sound coarser verdict (exit 2)")
+    pa.add_argument("--max-rss", type=float, default=None, metavar="MIB",
+                    help="peak-RSS budget (analyzer + workers) in MiB")
+    pa.add_argument("--stmt-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="soft per-statement budget sampled at statement "
+                         "boundaries")
+    pa.add_argument("--checkpoint", default=None, metavar="PATH",
+                    help="serialize resumable checkpoints to PATH at "
+                         "outermost fixpoint-iteration boundaries")
+    pa.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                    help="write every Nth iteration checkpoint (default 1)")
+    pa.add_argument("--resume", default=None, metavar="PATH",
+                    help="resume from a checkpoint written by --checkpoint "
+                         "(bit-identical to an uninterrupted run)")
     pa.set_defaults(func=cmd_analyze)
 
     pg = sub.add_parser("generate", help="generate a family program")
@@ -201,7 +257,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     ps.set_defaults(func=cmd_slice)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Frontend/analyzer errors, unusable checkpoints, simulated
+        # kills: no verdict was produced.
+        print(f"astree-repro: error: {exc}", file=sys.stderr)
+        return int(ExitCode.INTERNAL_ERROR)
+    except OSError as exc:
+        print(f"astree-repro: error: {exc}", file=sys.stderr)
+        return int(ExitCode.INTERNAL_ERROR)
+    except Exception:
+        import traceback
+
+        traceback.print_exc()
+        return int(ExitCode.INTERNAL_ERROR)
 
 
 if __name__ == "__main__":  # pragma: no cover

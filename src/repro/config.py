@@ -92,6 +92,38 @@ class AnalyzerConfig:
     # bodies scaled up) a block region must have before its units are
     # dispatched to workers rather than run inline.
     parallel_min_stmts: int = 48
+    # Worker crash recovery (repro.parallel): how many times one dispatch
+    # is retried against a re-forked pool after a worker death, the base
+    # of the exponential backoff between attempts, and how many pool
+    # rebuilds the whole run tolerates before parallelism is disabled
+    # for good (sequential execution of the remaining work — results
+    # stay identical either way).
+    dispatch_retries: int = 2
+    retry_backoff_s: float = 0.05
+    max_pool_rebuilds: int = 3
+
+    # -- resource budgets (repro.supervisor) ------------------------------------
+    # When any budget trips, the supervisor walks the soundness-
+    # preserving degradation ladder instead of aborting: the run always
+    # terminates with a sound (possibly coarser) verdict and
+    # AnalysisResult.degraded set.  None disables a budget.
+    wall_deadline_s: Optional[float] = None
+    # Peak-RSS ceiling (analyzer + workers), sampled by a watchdog thread.
+    rss_limit_kib: Optional[int] = None
+    # Soft per-statement timeout, sampled at statement boundaries.
+    stmt_timeout_s: Optional[float] = None
+    watchdog_interval_s: float = 0.05
+
+    # -- checkpoint / resume (repro.supervisor) ---------------------------------
+    # Serialize the analysis at outermost fixpoint-iteration boundaries
+    # to this path (atomic overwrite); resume_path restores such a file
+    # and continues bit-identically to an uninterrupted run.
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
+    resume_path: Optional[str] = None
+    # Fault-injection knob (tests/CI): simulate a kill by raising
+    # SupervisorHalt after this many checkpoints have been written.
+    checkpoint_halt_after: Optional[int] = None
 
     # -- reporting --------------------------------------------------------------------
     collect_invariants: bool = False

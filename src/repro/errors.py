@@ -1,6 +1,8 @@
-"""Exception hierarchy for the analyzer."""
+"""Exception hierarchy and the CLI exit-code contract."""
 
 from __future__ import annotations
+
+import enum
 
 __all__ = [
     "ReproError",
@@ -11,7 +13,32 @@ __all__ = [
     "UnsupportedConstructError",
     "LinkError",
     "AnalysisError",
+    "CheckpointError",
+    "SupervisorHalt",
+    "ExitCode",
 ]
+
+
+class ExitCode(enum.IntEnum):
+    """The documented exit-code contract of the ``astree-repro`` CLI.
+
+    * ``PROVED`` (0) — the analysis terminated at full precision and
+      reported no alarms: the checked properties are proved.
+    * ``ALARMS`` (1) — the analysis terminated at full precision with one
+      or more alarms.
+    * ``DEGRADED`` (2) — a resource budget tripped and the supervisor
+      stepped down the degradation ladder: the verdict is still *sound*
+      but coarser than the configured precision (alarms may include
+      degradation-induced false positives).  Takes precedence over
+      ``ALARMS``.
+    * ``INTERNAL_ERROR`` (3) — no verdict was produced: frontend or
+      analyzer error, unusable checkpoint, or a simulated kill.
+    """
+
+    PROVED = 0
+    ALARMS = 1
+    DEGRADED = 2
+    INTERNAL_ERROR = 3
 
 
 class ReproError(Exception):
@@ -54,3 +81,14 @@ class LinkError(ReproError):
 
 class AnalysisError(ReproError):
     """Internal error during abstract execution."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or belongs to a different
+    program/configuration (fingerprint mismatch)."""
+
+
+class SupervisorHalt(ReproError):
+    """Simulated kill for fault-injection tests and CI: raised by the
+    supervisor after writing a configured number of checkpoints, leaving
+    a resumable checkpoint behind exactly as a SIGKILL would."""

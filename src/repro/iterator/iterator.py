@@ -101,10 +101,17 @@ class Iterator:
         self.visit_counts: Dict[int, int] = {}
         # Optional parallel engine (set by analyze_program when jobs > 1).
         self.parallel = None
+        # Optional supervisor (set by analyze_program when budgets or
+        # checkpointing are configured); polled at statement and
+        # fixpoint-iteration boundaries.
+        self.supervisor = None
         # Wall time spent inside outermost loop fixpoints ("iteration"
         # phase); the rest of the run is the checking phase.
         self.fixpoint_seconds: float = 0.0
         self._fixpoint_depth: int = 0
+        # Deterministic invocation ordinal of outermost fixpoints: the
+        # coordinate system checkpoints use to find their loop again.
+        self._fixpoint_ordinal: int = -1
 
     # -- top level -----------------------------------------------------------------
 
@@ -239,6 +246,8 @@ class Iterator:
     def exec_stmt(self, state: AbstractState, s: I.Stmt) -> Flow:
         if state.is_bottom:
             return Flow(normal=state)
+        if self.supervisor is not None:
+            self.supervisor.poll_stmt(self, s)
         if self.cfg.trace:
             self.visit_counts[s.sid] = self.visit_counts.get(s.sid, 0) + 1
         if isinstance(s, I.SAssign):
@@ -618,6 +627,8 @@ class Iterator:
         was_checking = self.alarms.checking
         self.alarms.checking = False
         self._fixpoint_depth += 1
+        if self._fixpoint_depth == 1:
+            self._fixpoint_ordinal += 1
         start = time.perf_counter() if self._fixpoint_depth == 1 else 0.0
         try:
             return self._loop_fixpoint_inner(entry, s)
@@ -631,8 +642,23 @@ class Iterator:
         inv = entry
         prev_unstable: Optional[Set[int]] = None
         fairness_left = self.cfg.delay_fairness_bound
+        start_it = 0
+        sup = self.supervisor
+        if sup is not None and self._fixpoint_depth == 1:
+            # Checkpoint resume: when this is the fixpoint the checkpoint
+            # was taken in (matched by invocation ordinal), swap in the
+            # captured invariant and bookkeeping and continue from the
+            # recorded iteration — bit-identical to the interrupted run.
+            restored = sup.resume_into(self, s.loop_id,
+                                       self._fixpoint_ordinal)
+            if restored is not None:
+                inv, prev_unstable, fairness_left, start_it = restored
         eps = self.cfg.iteration_epsilon
-        for it in range(self.cfg.max_widening_iterations):
+        for it in range(start_it, self.cfg.max_widening_iterations):
+            if sup is not None:
+                sup.on_fixpoint_iteration(self, s.loop_id,
+                                          self._fixpoint_ordinal, it, inv,
+                                          prev_unstable, fairness_left)
             self.widening_iterations += 1
             body_in = self.guards.guard(inv, s.cond, True, s.sid, s.loc)
             after, _, _, _ = self._exec_body_once(body_in, s)

@@ -41,9 +41,11 @@ from ..packing.octagon_packs import OctagonPacking
 __all__ = ["AnalysisContext", "AbstractState", "set_active_context",
            "get_active_context"]
 
-# Process-wide context registry (parallel engine support).  Pickled
-# AbstractStates carry domain content only; the heavy AnalysisContext is
-# installed once per process and re-attached during unpickling.
+# Process-wide context registry (parallel engine and checkpoint/resume
+# support).  Pickled AbstractStates carry domain content only; the heavy
+# AnalysisContext is installed once per process and re-attached during
+# unpickling — workers install it in their initializer, and
+# supervisor.checkpoint.load_checkpoint requires it before restoring.
 _ACTIVE_CONTEXT: Optional["AnalysisContext"] = None
 
 

@@ -19,11 +19,38 @@ entries keep their physical identity — downstream sharing shortcuts and
 diff-based joins behave exactly as in the sequential run, and alarms are
 replayed through the parent's collector in program order.  The result is
 bit-identical to ``jobs=1``.
+
+Fault tolerance (Monniaux: a distributed analysis must tolerate worker
+failure without losing soundness): dispatch failures are *classified*,
+not blanket-caught.
+
+* **worker death** (SIGKILL, OOM — surfaces as ``BrokenProcessPool``):
+  the dispatch is retried with exponential backoff against a re-forked
+  pool; deltas have no parent-side effects until the whole dispatch
+  succeeds, so a retry is exactly a re-run.  After the retry budget or
+  the run-wide pool-rebuild budget is spent, the engine degrades to
+  sequential execution (identical results, just slower);
+* **pickling errors** (unpicklable state): parallelism is permanently
+  disabled and the region runs sequentially;
+* **analyzer bugs** (any exception raised by the analysis itself inside
+  a worker): re-raised to the caller — a bug must never be masked as a
+  silent sequential retry.
+
+Every failure and recovery action is recorded in the shared
+:class:`~repro.supervisor.IncidentLog`.  The env knobs
+``REPRO_FAULT_WORKER_CRASH`` (path to a marker file: the first worker to
+claim it hard-exits, simulating an OOM kill) and
+``REPRO_FAULT_WORKER_RAISE`` (raise an AnalysisError in every worker)
+inject faults for tests and CI.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,9 +59,21 @@ from ..iterator.alarms import AlarmCollector
 from ..iterator.state import AbstractState, set_active_context
 from ..memory.environment import MemoryEnv
 from ..memory.fmap import PMap
+from ..supervisor.incidents import IncidentLog
 from .footprints import Footprint, FootprintAnalyzer
 
-__all__ = ["ParallelEngine", "plan_sequence", "PlanSegment"]
+__all__ = ["ParallelEngine", "plan_sequence", "PlanSegment",
+           "DispatchFailed"]
+
+
+class DispatchFailed(Exception):
+    """Internal: a dispatch could not be completed after recovery
+    attempts.  ``permanent`` asks the engine to disable parallelism for
+    the rest of the run instead of just falling back for one region."""
+
+    def __init__(self, message: str, permanent: bool = False):
+        super().__init__(message)
+        self.permanent = permanent
 
 
 # ---------------------------------------------------------------------------
@@ -245,9 +284,28 @@ def _worker_init_spawn(ctx_blob: bytes) -> None:
     _install_context(pickle.loads(ctx_blob))
 
 
+def _maybe_inject_fault() -> None:
+    """Test/CI fault injection (see module docstring).  The crash marker
+    is claimed by unlink, so exactly one worker dies per marker file."""
+    marker = os.environ.get("REPRO_FAULT_WORKER_CRASH")
+    if marker:
+        try:
+            os.unlink(marker)
+        except OSError:
+            pass
+        else:
+            os._exit(42)  # hard exit: indistinguishable from SIGKILL/OOM
+    if os.environ.get("REPRO_FAULT_WORKER_RAISE"):
+        from ..errors import AnalysisError
+
+        raise AnalysisError(
+            "injected analyzer fault (REPRO_FAULT_WORKER_RAISE)")
+
+
 def _run_tasks(payload: dict) -> List[Tuple[int, dict]]:
     from ..iterator.iterator import Iterator
 
+    _maybe_inject_fault()
     ctx = _WORKER_CTX
     states = [pickle.loads(blob) for blob in payload["states"]]
     out = []
@@ -288,15 +346,19 @@ def _run_tasks(payload: dict) -> List[Tuple[int, dict]]:
 # ---------------------------------------------------------------------------
 
 class ParallelEngine:
-    """Owns the process pool, partition plans, and deterministic merge."""
+    """Owns the process pool, partition plans, deterministic merge, and
+    worker crash recovery."""
 
-    def __init__(self, ctx, jobs: int):
+    def __init__(self, ctx, jobs: int,
+                 incidents: Optional[IncidentLog] = None):
         self.ctx = ctx
         self.jobs = max(1, int(jobs))
         self.analyzer = FootprintAnalyzer(ctx)
+        self.incidents = incidents if incidents is not None else IncidentLog()
         self._plans: Dict[Tuple, Optional[List[PlanSegment]]] = {}
         self._pool = None
         self._disabled = False
+        self._rebuilds = 0
         # Statistics surfaced through AnalysisResult.
         self.parallel_regions = 0
         self.parallel_tasks = 0
@@ -313,26 +375,98 @@ class ParallelEngine:
             try:
                 mpctx = mp.get_context("fork")
                 _FORK_CTX = self.ctx
-                self._pool = mpctx.Pool(self.jobs,
-                                        initializer=_worker_init_fork)
+                self._pool = ProcessPoolExecutor(
+                    self.jobs, mp_context=mpctx,
+                    initializer=_worker_init_fork)
             except ValueError:
                 mpctx = mp.get_context("spawn")
                 blob = pickle.dumps(self.ctx, pickle.HIGHEST_PROTOCOL)
-                self._pool = mpctx.Pool(self.jobs,
-                                        initializer=_worker_init_spawn,
-                                        initargs=(blob,))
+                self._pool = ProcessPoolExecutor(
+                    self.jobs, mp_context=mpctx,
+                    initializer=_worker_init_spawn, initargs=(blob,))
         return self._pool
 
+    def _discard_pool(self) -> None:
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        try:
+            procs = list(getattr(pool, "_processes", {}).values())
+        except Exception:  # pragma: no cover - interpreter internals moved
+            procs = []
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - already broken
+            pass
+        for p in procs:
+            try:
+                p.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._discard_pool()
+
+    def shutdown(self, reason: str) -> None:
+        """Externally requested stop (budget trip): free the workers and
+        run the rest of the analysis sequentially — results identical."""
+        self._disable(reason)
+
+    def _disable(self, reason: str) -> None:
+        if not self._disabled:
+            self._disabled = True
+            self.incidents.record("parallel-disabled",
+                                  action="sequential-fallback",
+                                  detail=reason)
+        self._discard_pool()
 
     # -- dispatch --------------------------------------------------------------
 
     def _dispatch(self, it, blobs: List[bytes],
                   tasks: List[Tuple[int, int, List[int], bool]]) -> List[dict]:
+        """Run one batch of tasks, recovering from worker deaths.
+
+        Retries re-run the *whole* batch: workers have no parent-visible
+        side effects, so a re-run is exactly a fresh dispatch and the
+        merged result stays bit-identical.  Raises :class:`DispatchFailed`
+        when recovery is exhausted; analyzer exceptions raised inside a
+        worker propagate unchanged.
+        """
+        cfg = self.ctx.config
+        retries = max(0, getattr(cfg, "dispatch_retries", 2))
+        backoff = max(0.0, getattr(cfg, "retry_backoff_s", 0.05))
+        max_rebuilds = max(0, getattr(cfg, "max_pool_rebuilds", 3))
+        attempt = 0
+        while True:
+            try:
+                return self._dispatch_once(it, blobs, tasks)
+            except BrokenProcessPool as exc:
+                self._discard_pool()
+                self._rebuilds += 1
+                attempt += 1
+                out_of_budget = (attempt > retries
+                                 or self._rebuilds > max_rebuilds)
+                self.incidents.record(
+                    "worker-crash",
+                    action=("gave-up" if out_of_budget
+                            else f"retry-{attempt}"),
+                    detail=(f"worker died mid-dispatch "
+                            f"({len(tasks)} task(s)); pool rebuild "
+                            f"{self._rebuilds}: {exc}"))
+                if out_of_budget:
+                    raise DispatchFailed(
+                        f"worker crashes exhausted the retry budget "
+                        f"({attempt - 1} retries, {self._rebuilds} pool "
+                        f"rebuilds)",
+                        permanent=self._rebuilds > max_rebuilds)
+                time.sleep(backoff * (2 ** (attempt - 1)))
+            except pickle.PicklingError as exc:
+                self.incidents.record("pickling-error",
+                                      action="sequential-fallback",
+                                      detail=str(exc))
+                raise DispatchFailed(str(exc), permanent=True)
+
+    def _dispatch_once(self, it, blobs, tasks) -> List[dict]:
         pool = self._ensure_pool()
         common = {
             "fn_stack": list(it._fn_stack),
@@ -342,7 +476,7 @@ class ParallelEngine:
         }
         n = min(self.jobs, len(tasks))
         chunks = [tasks[i::n] for i in range(n)]
-        handles = []
+        futures = []
         for chunk in chunks:
             if not chunk:
                 continue
@@ -353,10 +487,10 @@ class ParallelEngine:
                            for tid, si, sids, unit in chunk]
             payload = dict(common, states=[blobs[i] for i in used],
                            tasks=local_tasks)
-            handles.append(pool.apply_async(_run_tasks, (payload,)))
+            futures.append(pool.submit(_run_tasks, payload))
         results: Dict[int, dict] = {}
-        for h in handles:
-            for task_id, res in h.get():
+        for f in futures:
+            for task_id, res in f.result():
                 results[task_id] = res
         return [results[i] for i in range(len(tasks))]
 
@@ -431,13 +565,23 @@ class ParallelEngine:
             ]
             blobs = [pickle.dumps(b, pickle.HIGHEST_PROTOCOL)
                      for b in bases]
-            tasks = [
-                (ti, ti, [stmts[i].sid for i in range(a, b)], True)
-                for ti, (a, b) in enumerate(seg.units)
-            ]
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            # Unpicklable state can never dispatch: stay sequential.
+            self._disable(f"state not picklable: {exc}")
+            return None
+        tasks = [
+            (ti, ti, [stmts[i].sid for i in range(a, b)], True)
+            for ti, (a, b) in enumerate(seg.units)
+        ]
+        try:
             results = self._dispatch(it, blobs, tasks)
-        except Exception:
-            self._disabled = True  # e.g. unpicklable state; stay sequential
+        except DispatchFailed as exc:
+            # Worker-death recovery exhausted: run this region inline;
+            # permanent failures disable parallelism for the whole run.
+            # Analyzer exceptions raised inside a worker are NOT caught
+            # here — they propagate to the caller unchanged.
+            if exc.permanent:
+                self._disable(str(exc))
             return None
         self.parallel_regions += 1
         self.parallel_tasks += len(tasks)
@@ -485,11 +629,16 @@ class ParallelEngine:
         try:
             blobs = [pickle.dumps(t_state, pickle.HIGHEST_PROTOCOL),
                      pickle.dumps(f_state, pickle.HIGHEST_PROTOCOL)]
-            tasks = [(0, 0, [s.sid for s in t_stmts], False),
-                     (1, 1, [s.sid for s in f_stmts], False)]
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            self._disable(f"state not picklable: {exc}")
+            return None
+        tasks = [(0, 0, [s.sid for s in t_stmts], False),
+                 (1, 1, [s.sid for s in f_stmts], False)]
+        try:
             res_t, res_f = self._dispatch(it, blobs, tasks)
-        except Exception:
-            self._disabled = True
+        except DispatchFailed as exc:
+            if exc.permanent:
+                self._disable(str(exc))
             return None
         self.branch_dispatches += 1
         self.parallel_tasks += 2

@@ -40,6 +40,30 @@ def render_markdown(result: AnalysisResult, title: str = "Analysis report") -> s
         lines.append("")
         for alarm in result.alarms:
             lines.append(f"* `{alarm.loc}` — **{alarm.kind}**: {alarm.message}")
+    if result.degraded or result.incidents or result.resumed:
+        lines.append("")
+        lines.append("## Robustness")
+        lines.append("")
+        if result.degraded:
+            lines.append("**DEGRADED** — a resource budget tripped and the "
+                         "supervisor stepped down the degradation ladder; "
+                         "the verdict is sound but coarser than the "
+                         "configured precision.")
+            lines.append("")
+            lines.append("Rungs applied: "
+                         + ", ".join(f"`{s}`" for s in
+                                     result.degradation_steps))
+        if result.resumed:
+            lines.append("")
+            lines.append("Resumed from a checkpoint (bit-identical to an "
+                         "uninterrupted run).")
+        if result.incidents:
+            lines.append("")
+            lines.append("| t (s) | kind | action | detail |")
+            lines.append("|---|---|---|---|")
+            for inc in result.incidents:
+                lines.append(f"| {inc.at_s:.3f} | {inc.kind} | {inc.action} "
+                             f"| {inc.detail} |")
     stats = result.invariant_stats()
     if stats.total():
         lines.append("")
@@ -77,6 +101,17 @@ def render_json(result: AnalysisResult) -> str:
             "filter_sites": result.filter_site_count,
         },
         "invariant_stats": asdict(stats),
+        "robustness": {
+            "degraded": result.degraded,
+            "degradation_steps": result.degradation_steps,
+            "resumed": result.resumed,
+            "exit_code": result.exit_code,
+            "incidents": [
+                {"kind": i.kind, "action": i.action, "detail": i.detail,
+                 "at_s": i.at_s}
+                for i in result.incidents
+            ],
+        },
     }
     return json.dumps(payload, indent=2)
 

@@ -1,0 +1,285 @@
+"""The analysis supervisor.
+
+One :class:`Supervisor` instance wraps one analysis run.  It owns
+
+* the run's *mutable copy* of the configuration (degradation rungs
+  mutate it in place; the caller's config is never touched),
+* the resource budgets and their watchdog thread,
+* the degradation ladder,
+* the incident log (shared with the parallel engine), and
+* the checkpoint/resume machinery.
+
+The iterator polls it at two kinds of boundaries:
+
+* ``poll_stmt`` at every statement — consumes budget trips raised by the
+  watchdog and samples the per-statement soft timeout;
+* ``on_fixpoint_iteration`` at every widening-iteration boundary —
+  consumes trips and, for *outermost* fixpoints, writes checkpoints.
+
+Budget handling is strictly cooperative: the watchdog thread only sets a
+flag, and all config mutation happens on the analysis thread inside the
+poll calls, so the iterator never observes a configuration change within
+a single statement's transfer function.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional, Tuple
+
+from ..config import AnalyzerConfig
+from ..errors import CheckpointError, SupervisorHalt
+from .budget import BudgetWatchdog, ResourceBudget
+from .checkpoint import (Checkpoint, context_fingerprint, load_checkpoint,
+                         write_checkpoint)
+from .degradation import DegradationLadder
+from .incidents import IncidentLog
+
+__all__ = ["Supervisor"]
+
+# Environment knob: simulate a kill after N checkpoints have been
+# written (used by CI fault-injection; config.checkpoint_halt_after
+# takes precedence when set).
+HALT_ENV = "REPRO_FAULT_HALT_AFTER_CHECKPOINTS"
+
+# Cap on recorded stmt-timeout incidents: a tiny limit on a large
+# program would otherwise flood the log with one incident per statement.
+MAX_STMT_TIMEOUT_INCIDENTS = 20
+
+
+class Supervisor:
+    """Per-run fault-tolerance coordinator (see module docstring)."""
+
+    def __init__(self, config: AnalyzerConfig,
+                 incidents: Optional[IncidentLog] = None) -> None:
+        self.config = config
+        self.incidents = incidents if incidents is not None else IncidentLog()
+        self.budget = ResourceBudget(
+            wall_deadline_s=config.wall_deadline_s,
+            rss_limit_kib=config.rss_limit_kib,
+            stmt_timeout_s=config.stmt_timeout_s,
+        )
+        self.ladder = DegradationLadder(config)
+        self.degraded = False
+        self.resumed = False
+        # Set by analyze_program when jobs > 1 (shut down on first trip
+        # to stop paying worker memory/dispatch costs).
+        self.engine = None
+        self._t0 = time.perf_counter()
+        self._watchdog = BudgetWatchdog(self.budget, self._t0,
+                                        self._trip,
+                                        config.watchdog_interval_s)
+        self._tripped: Optional[str] = None  # set by watchdog thread
+        self._exhausted_reported = False
+        self._stmt_timeout_incidents = 0
+        self._last_stmt: Optional[Tuple[float, int]] = None
+        self._polls = 0
+        # Checkpointing.
+        self._fingerprint: Optional[str] = None
+        self._checkpoints_written = 0
+        halt = config.checkpoint_halt_after
+        if halt is None and os.environ.get(HALT_ENV):
+            try:
+                halt = int(os.environ[HALT_ENV])
+            except ValueError:
+                halt = None
+        self._halt_after = halt
+        # Resume.
+        self._resume_cp: Optional[Checkpoint] = None
+        self._resume_pending = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach_context(self, ctx) -> None:
+        """Bind the built AnalysisContext: compute the fingerprint and,
+        when resuming, load + validate the checkpoint and re-apply its
+        recorded degradation rungs."""
+        self._fingerprint = context_fingerprint(ctx)
+        path = self.config.resume_path
+        if not path:
+            return
+        from ..iterator.state import set_active_context
+
+        set_active_context(ctx)
+        cp = load_checkpoint(path, self._fingerprint)
+        self._resume_cp = cp
+        self._resume_pending = True
+        self.resumed = True
+        self.incidents.restore(cp.incidents, cp.incidents_dropped)
+        self.degraded = cp.degraded
+        if cp.degradation_applied:
+            self.ladder.apply_named(cp.degradation_applied)
+        self.incidents.record(
+            "resume", action="restored",
+            detail=(f"checkpoint {path}: fixpoint ordinal {cp.ordinal}, "
+                    f"loop {cp.loop_id}, iteration {cp.next_iteration}"))
+
+    def start(self) -> None:
+        self._watchdog.start()
+
+    def stop(self) -> None:
+        self._watchdog.stop()
+
+    # -- budget trips ----------------------------------------------------------
+
+    def _trip(self, reason: str) -> None:
+        """Watchdog-thread callback: flag only, handled at the next poll."""
+        if self._tripped is None:
+            self._tripped = reason
+
+    def _consume_trip(self) -> None:
+        reason = self._tripped
+        if reason is None:
+            return
+        self._tripped = None
+        self._degrade(reason, self._budget_detail(reason))
+
+    def _check_budgets_inline(self, sample_rss: bool) -> None:
+        """Synchronous budget check on the analysis thread.  The watchdog
+        alone is not enough: a CPU-bound analysis can hold the GIL for
+        whole scheduler quanta, so short overruns would be noticed only
+        after the run finished.  The deadline compare is free and runs on
+        every poll; the RSS syscall is sampled."""
+        if self._tripped is not None:
+            return
+        b = self.budget
+        if (b.wall_deadline_s is not None
+                and time.perf_counter() - self._t0 > b.wall_deadline_s):
+            self._tripped = "deadline"
+            return
+        if b.rss_limit_kib is not None and sample_rss:
+            from .budget import peak_rss_kib
+
+            if peak_rss_kib() > b.rss_limit_kib:
+                self._tripped = "rss"
+
+    def _budget_detail(self, reason: str) -> str:
+        if reason == "deadline":
+            return (f"wall clock {time.perf_counter() - self._t0:.2f}s "
+                    f"exceeded deadline {self.config.wall_deadline_s}s")
+        if reason == "rss":
+            from .budget import peak_rss_kib
+
+            return (f"peak RSS {peak_rss_kib()} KiB exceeded ceiling "
+                    f"{self.config.rss_limit_kib} KiB")
+        return ""
+
+    def _degrade(self, reason: str, detail: str) -> None:
+        if self.engine is not None:
+            # Free worker processes first; already-merged parallel
+            # results were computed under the stricter config (sound).
+            engine, self.engine = self.engine, None
+            engine.shutdown(f"budget trip ({reason})")
+        step = self.ladder.step()
+        if step is None:
+            if not self._exhausted_reported:
+                self._exhausted_reported = True
+                self.incidents.record(
+                    reason, action="exhausted-ladder",
+                    detail="all degradation rungs already applied; "
+                           "finishing under the coarsest sound config")
+            return
+        name, rung_detail = step
+        self.degraded = True
+        self.incidents.record(reason, action=f"degrade:{name}",
+                              detail=f"{detail}; {rung_detail}")
+
+    # -- iterator hooks --------------------------------------------------------
+
+    def poll_stmt(self, it, s) -> None:
+        """Called by the iterator at every statement entry."""
+        self._polls += 1
+        self._check_budgets_inline(sample_rss=self._polls % 32 == 0)
+        if self._tripped is not None:
+            self._consume_trip()
+        lim = self.budget.stmt_timeout_s
+        if lim is None:
+            return
+        now = time.perf_counter()
+        prev = self._last_stmt
+        self._last_stmt = (now, s.sid)
+        if prev is None:
+            return
+        prev_t, prev_sid = prev
+        if now - prev_t > lim:
+            if self._stmt_timeout_incidents < MAX_STMT_TIMEOUT_INCIDENTS:
+                self._stmt_timeout_incidents += 1
+                self._degrade(
+                    "stmt-timeout",
+                    f"statement {prev_sid} spent {now - prev_t:.3f}s "
+                    f"(soft limit {lim}s)")
+
+    def on_fixpoint_iteration(self, it, loop_id: int, ordinal: int, k: int,
+                              inv, prev_unstable, fairness_left: int) -> None:
+        """Called at the top of every widening iteration (any depth)."""
+        self._check_budgets_inline(sample_rss=True)
+        if self._tripped is not None:
+            self._consume_trip()
+        if it._fixpoint_depth != 1 or not self.config.checkpoint_path:
+            return
+        every = max(1, self.config.checkpoint_every)
+        if k % every != 0:
+            return
+        self._write_checkpoint(it, loop_id, ordinal, k, inv, prev_unstable,
+                               fairness_left)
+
+    def _write_checkpoint(self, it, loop_id, ordinal, k, inv, prev_unstable,
+                          fairness_left) -> None:
+        assert self._fingerprint is not None
+        cp = Checkpoint(
+            fingerprint=self._fingerprint,
+            ordinal=ordinal,
+            loop_id=loop_id,
+            next_iteration=k,
+            inv=inv,
+            prev_unstable=(None if prev_unstable is None
+                           else set(prev_unstable)),
+            fairness_left=fairness_left,
+            widening_iterations=it.widening_iterations,
+            visit_counts=dict(it.visit_counts),
+            loop_invariants=dict(it.loop_invariants),
+            useful_oct_packs=set(it.ctx.useful_oct_packs),
+            useful_bool_packs=set(it.ctx.useful_bool_packs),
+            degradation_applied=list(self.ladder.applied),
+            incidents=self.incidents.incidents,
+            incidents_dropped=self.incidents.dropped,
+            degraded=self.degraded,
+        )
+        write_checkpoint(self.config.checkpoint_path, cp)
+        self._checkpoints_written += 1
+        if (self._halt_after is not None
+                and self._checkpoints_written >= self._halt_after):
+            raise SupervisorHalt(
+                f"simulated kill after {self._checkpoints_written} "
+                f"checkpoint(s); resume with "
+                f"--resume {self.config.checkpoint_path}")
+
+    def resume_into(self, it, loop_id: int, ordinal: int):
+        """Offer a restore to an outermost fixpoint that is about to
+        start iterating.  Returns ``(inv, prev_unstable, fairness_left,
+        start_iteration)`` when this is the checkpointed fixpoint, else
+        ``None``."""
+        if not self._resume_pending:
+            return None
+        cp = self._resume_cp
+        if ordinal != cp.ordinal:
+            return None
+        if loop_id != cp.loop_id:
+            raise CheckpointError(
+                f"checkpoint targets loop {cp.loop_id} at fixpoint ordinal "
+                f"{cp.ordinal}, but the replayed run reached loop {loop_id} "
+                f"— program or configuration drift")
+        self._resume_pending = False
+        # Swap in every piece of global state the skipped iterations
+        # produced; the replayed prefix regenerated identical values for
+        # everything before this point.
+        it.widening_iterations = cp.widening_iterations
+        it.visit_counts = dict(cp.visit_counts)
+        it.loop_invariants = dict(cp.loop_invariants)
+        it.ctx.useful_oct_packs.clear()
+        it.ctx.useful_oct_packs.update(cp.useful_oct_packs)
+        it.ctx.useful_bool_packs.clear()
+        it.ctx.useful_bool_packs.update(cp.useful_bool_packs)
+        return (cp.inv, cp.prev_unstable, cp.fairness_left,
+                cp.next_iteration)
