@@ -20,7 +20,7 @@ from .frontend import compile_source, link_sources
 from .frontend.ir import IRProgram
 from .iterator.alarms import Alarm, AlarmCollector
 from .iterator.iterator import Iterator
-from .iterator.state import AbstractState, AnalysisContext
+from .iterator.state import AbstractState, AnalysisContext, LatticeMemo
 from .memory.cells import CellTable
 from .numeric import FloatInterval, IntInterval
 from .packing.boolean_packs import compute_bool_packs
@@ -81,6 +81,16 @@ class AnalysisResult:
     parallel_regions: int = 0
     parallel_tasks: int = 0
     branch_dispatches: int = 0
+    # Incremental engine feedback (repro.iterator.incremental):
+    # statement executions performed vs spliced from memoized records
+    # (skips are weighted by footprint span), and the hit/miss counts of
+    # the identity-keyed lattice memo.  stmts_executed also counts in
+    # full (non-incremental) mode, making the two comparable.
+    incremental: bool = True
+    stmts_executed: int = 0
+    stmts_skipped: int = 0
+    lattice_memo_hits: int = 0
+    lattice_memo_misses: int = 0
     # Supervisor feedback (repro.supervisor): every fault or budget trip
     # the run absorbed, whether degradation rungs were applied, which
     # ones, and whether the run was restored from a checkpoint.
@@ -212,6 +222,26 @@ def _peak_rss_kib() -> int:
     return peak_rss_kib()
 
 
+def _configure_sharing(config: AnalyzerConfig) -> None:
+    """Size the process-global sharing caches (value intern pool and
+    octagon closure memo) for this run.
+
+    All of them are gated on ``config.incremental``: ``--no-incremental``
+    is specified as a fallback to the pre-incremental engine, which had
+    none of this machinery.  Disabling is always safe — the caches are
+    value-preserving and only affect physical identity and wall time.
+    """
+    from .domains.octagon import configure_closure_memo
+    from .memory import interning
+
+    if config.incremental:
+        interning.configure(config.value_intern_size)
+        configure_closure_memo(config.closure_memo_size)
+    else:
+        interning.configure(0)
+        configure_closure_memo(0)
+
+
 def _needs_supervisor(config: AnalyzerConfig) -> bool:
     return any((
         config.wall_deadline_s is not None,
@@ -255,6 +285,9 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
     ctx = AnalysisContext(prog=prog, config=config, table=table,
                           oct_packs=oct_packs, bool_packs=bool_packs,
                           filter_sites=sites)
+    _configure_sharing(config)
+    ctx.lattice_memo = LatticeMemo(
+        config.lattice_memo_size if config.incremental else 0)
     if sup is not None:
         sup.attach_context(ctx)
     packing_seconds = time.perf_counter() - start
@@ -302,6 +335,12 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
             "parse": parse_seconds,
             "packing": packing_seconds,
             "iteration": it.fixpoint_seconds,
+            # Split of the iteration phase: time inside AbstractState
+            # lattice ops (join/widen/narrow/includes) vs everything
+            # else (the abstract transfer functions proper).
+            "iteration-lattice": it.fixpoint_lattice_seconds,
+            "iteration-transfer": max(
+                0.0, it.fixpoint_seconds - it.fixpoint_lattice_seconds),
             "checking": checking_seconds,
         },
         peak_rss_kib=_peak_rss_kib(),
@@ -309,6 +348,11 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
         parallel_regions=0 if engine is None else engine.parallel_regions,
         parallel_tasks=0 if engine is None else engine.parallel_tasks,
         branch_dispatches=0 if engine is None else engine.branch_dispatches,
+        incremental=config.incremental,
+        stmts_executed=it.stmts_executed,
+        stmts_skipped=it.stmts_skipped,
+        lattice_memo_hits=ctx.lattice_memo.hits,
+        lattice_memo_misses=ctx.lattice_memo.misses,
         incidents=incidents.incidents,
         degraded=False if sup is None else sup.degraded,
         degradation_steps=[] if sup is None else list(sup.ladder.applied),

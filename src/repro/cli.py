@@ -54,6 +54,8 @@ def _build_config(args) -> AnalyzerConfig:
         overrides["collect_invariants"] = True
     if getattr(args, "jobs", None) is not None:
         overrides["jobs"] = args.jobs
+    if getattr(args, "incremental", None) is not None:
+        overrides["incremental"] = args.incremental
     if getattr(args, "deadline", None) is not None:
         overrides["wall_deadline_s"] = args.deadline
     if getattr(args, "max_rss", None) is not None:
@@ -74,9 +76,20 @@ def _print_stats(result) -> None:
     print("-- stats --")
     for phase in ("parse", "packing", "iteration", "checking"):
         print(f"  {phase:<10} {pt.get(phase, 0.0):8.3f}s")
+        if phase == "iteration" and "iteration-transfer" in pt:
+            print(f"    transfer {pt['iteration-transfer']:8.3f}s")
+            print(f"    lattice  {pt['iteration-lattice']:8.3f}s")
     print(f"  total      {result.analysis_time:8.3f}s")
     print(f"  peak RSS   {result.peak_rss_kib / 1024.0:8.1f} MiB")
     print(f"  widening iterations: {result.widening_iterations}")
+    mode = "incremental" if result.incremental else "full"
+    total = result.stmts_executed + result.stmts_skipped
+    pct = 100.0 * result.stmts_skipped / total if total else 0.0
+    print(f"  statements ({mode}): executed={result.stmts_executed} "
+          f"skipped={result.stmts_skipped} ({pct:.1f}% skipped)")
+    if result.incremental:
+        print(f"  lattice memo: hits={result.lattice_memo_hits} "
+              f"misses={result.lattice_memo_misses}")
     if result.jobs > 1:
         print(f"  jobs: {result.jobs} "
               f"(regions={result.parallel_regions}, "
@@ -125,6 +138,12 @@ def cmd_analyze(args) -> int:
             payload["jobs"] = result.jobs
             payload["parallel_regions"] = result.parallel_regions
             payload["parallel_tasks"] = result.parallel_tasks
+            payload["widening_iterations"] = result.widening_iterations
+            payload["incremental"] = result.incremental
+            payload["stmts_executed"] = result.stmts_executed
+            payload["stmts_skipped"] = result.stmts_skipped
+            payload["lattice_memo_hits"] = result.lattice_memo_hits
+            payload["lattice_memo_misses"] = result.lattice_memo_misses
         print(json.dumps(payload, indent=2))
     else:
         for a in result.alarms:
@@ -206,6 +225,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     pa.add_argument("--jobs", type=int, default=None, metavar="N",
                     help="analysis worker processes (default 1 = "
                          "sequential; results are identical either way)")
+    pa.add_argument("--incremental", dest="incremental",
+                    action="store_true", default=None,
+                    help="dependency-sliced body re-execution inside "
+                         "fixpoints (the default; bit-identical results)")
+    pa.add_argument("--no-incremental", dest="incremental",
+                    action="store_false",
+                    help="fall back to full body re-execution (the "
+                         "pre-incremental engine, no sharing caches)")
     pa.add_argument("--stats", action="store_true",
                     help="report per-phase wall time and peak RSS")
     pa.add_argument("--profile-phases", dest="profile_phases",

@@ -83,6 +83,22 @@ class AnalyzerConfig:
     # however, this precision gain was not needed in our experiments").
     octagon_pivot_reduction: bool = False
 
+    # -- incremental fixpoint engine (repro.iterator.incremental) ---------------
+    # Re-execute only the statements of a widening iteration whose
+    # read/write footprint disagrees with the memoized previous
+    # execution, splicing recorded post-states for the rest.  Results
+    # are bit-identical to full re-execution (--no-incremental).
+    incremental: bool = True
+    # Bounded LRU memo for AbstractState join/widen/includes, keyed on
+    # interned node identities (entries; 0 disables).
+    lattice_memo_size: int = 4096
+    # Bounded hash-consing pool for cell values (entries; 0 disables).
+    value_intern_size: int = 65536
+    # Bounded value-keyed memo for octagon closure (matrices; 0
+    # disables).  Incremental iteration preserves matrix identity across
+    # iterations, so closures of already-seen matrices recur constantly.
+    closure_memo_size: int = 8192
+
     # -- parallel engine ---------------------------------------------------------
     # Number of analysis worker processes.  1 (the default) runs the
     # exact sequential path; N > 1 partitions independent work units

@@ -31,9 +31,33 @@ import numpy as np
 from ..numeric import FloatInterval, LinearForm
 from ..numeric.float_utils import add_up, div_up, mul_up
 
-__all__ = ["Octagon"]
+__all__ = ["Octagon", "configure_closure_memo", "closure_memo_stats"]
 
 _INF = math.inf
+
+# Value-keyed closure memo (part of the incremental engine's sharing
+# machinery, see repro.iterator.incremental): maps a raw matrix to its
+# strongly-closed octagon.  Closure is a deterministic function of the
+# matrix, so two ==-equal raw octagons have bit-identical closures and
+# may share one result object.  Bounded: cleared wholesale at capacity
+# (it is a cache — dropping it costs time, never correctness).  Off by
+# default; analyze_program enables it for incremental runs.
+_CLOSURE_MEMO: Dict[bytes, "Octagon"] = {}
+_CLOSURE_MEMO_MAX = 0
+_CLOSURE_HITS = 0
+
+
+def configure_closure_memo(max_size: int) -> None:
+    """Set the closure memo capacity; 0 (or negative) disables it."""
+    global _CLOSURE_MEMO_MAX, _CLOSURE_HITS
+    _CLOSURE_MEMO_MAX = max_size
+    _CLOSURE_HITS = 0
+    _CLOSURE_MEMO.clear()
+
+
+def closure_memo_stats() -> Tuple[int, int]:
+    """(hits, current size)."""
+    return _CLOSURE_HITS, len(_CLOSURE_MEMO)
 
 
 def _nudge_up(a: np.ndarray) -> np.ndarray:
@@ -128,6 +152,15 @@ class Octagon:
             out = Octagon(self.n, self.m, closed=True)
             self._closed_cache = out
             return out
+        key = None
+        if _CLOSURE_MEMO_MAX > 0:
+            key = self.m.tobytes()
+            cached = _CLOSURE_MEMO.get(key)
+            if cached is not None:
+                global _CLOSURE_HITS
+                _CLOSURE_HITS += 1
+                self._closed_cache = cached
+                return cached
         Octagon.closure_computations += 1
         m = self.m.copy()
         size = 2 * self.n
@@ -159,6 +192,10 @@ class Octagon:
             np.fill_diagonal(m, 0.0)
             out = Octagon(self.n, m, closed=True)
         self._closed_cache = out
+        if key is not None:
+            if len(_CLOSURE_MEMO) >= _CLOSURE_MEMO_MAX:
+                _CLOSURE_MEMO.clear()
+            _CLOSURE_MEMO[key] = out
         return out
 
     # -- lattice --------------------------------------------------------------------
@@ -232,6 +269,15 @@ class Octagon:
             return self._bottom == other._bottom
         a, b = self.closed(), other.closed()
         return bool(np.array_equal(a.m, b.m))
+
+    def raw_equal(self, other: "Octagon") -> bool:
+        """Representation equality without closure: same raw matrix (or
+        both bottom).  Sufficient for semantic equality — used by the
+        incremental engine's agreement check, where a cubic closure just
+        to compare would defeat the point of skipping."""
+        if self._bottom or other._bottom:
+            return self._bottom == other._bottom
+        return self.m is other.m or bool(np.array_equal(self.m, other.m))
 
     # -- constraint access ------------------------------------------------------------
 

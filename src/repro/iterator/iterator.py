@@ -106,9 +106,23 @@ class Iterator:
         # fixpoint-iteration boundaries.
         self.supervisor = None
         # Wall time spent inside outermost loop fixpoints ("iteration"
-        # phase); the rest of the run is the checking phase.
+        # phase); the rest of the run is the checking phase.  The lattice
+        # share of it (join/widen/narrow/includes) is split out so
+        # --profile-phases can report transfer vs lattice time.
         self.fixpoint_seconds: float = 0.0
+        self.fixpoint_lattice_seconds: float = 0.0
         self._fixpoint_depth: int = 0
+        # Incremental fixpoint engine (repro.iterator.incremental):
+        # statement execution/skip counters, the while-in-a-fixpoint-
+        # body flag that routes exec_block through sequence executors,
+        # and the per-(sequence, bindings) executor cache, rebuilt when
+        # config_generation moves.
+        self.stmts_executed: int = 0
+        self.stmts_skipped: int = 0
+        self._incr_active: bool = False
+        self._footprints = None
+        self._footprints_generation: int = -1
+        self._seq_execs: Dict[Tuple, object] = {}
         # Deterministic invocation ordinal of outermost fixpoints: the
         # coordinate system checkpoints use to find their loop again.
         self._fixpoint_ordinal: int = -1
@@ -153,6 +167,13 @@ class Iterator:
             flow = self.parallel.try_exec_sequence(self, state, stmts)
             if flow is not None:
                 return flow
+        # Incremental re-execution (repro.iterator.incremental): inside
+        # a fixpoint body run, every sequence — branch bodies and called
+        # function bodies included — goes through a memoizing executor
+        # that skips statements whose footprint slice is unchanged.
+        if (self._incr_active and stmts and not state.is_bottom
+                and not self._partitioning_active()):
+            return self._sequence_executor(stmts).exec(self, state)
         flow = Flow(normal=state)
         i = 0
         while i < len(stmts):
@@ -241,11 +262,40 @@ class Iterator:
         return (self._partition_budget > 0 and self._fn_stack
                 and self._fn_stack[-1] in self.cfg.partition_functions)
 
+    # -- incremental fixpoint machinery ------------------------------------------
+
+    def _footprint_analyzer(self):
+        """One FootprintAnalyzer per configuration generation, shared by
+        every incremental body executor of this iterator."""
+        gen = self.ctx.config_generation
+        if self._footprints is None or self._footprints_generation != gen:
+            from ..parallel.footprints import FootprintAnalyzer
+
+            self._footprints = FootprintAnalyzer(self.ctx)
+            self._footprints_generation = gen
+        return self._footprints
+
+    def _sequence_executor(self, stmts):
+        """Cached sequence executor for this statement list under the
+        current byref bindings; stale records are discarded whenever the
+        supervisor's degradation ladder bumps config_generation.  The
+        executor keeps a strong reference to ``stmts``, so keying on its
+        id is safe for as long as the cache lives."""
+        from .incremental import IncrementalSequenceExecutor, frames_key
+
+        key = (id(stmts), frames_key(self.tr.bindings))
+        ex = self._seq_execs.get(key)
+        if ex is None or ex.generation != self.ctx.config_generation:
+            ex = IncrementalSequenceExecutor(self, stmts)
+            self._seq_execs[key] = ex
+        return ex
+
     # -- single statements ----------------------------------------------------------------
 
     def exec_stmt(self, state: AbstractState, s: I.Stmt) -> Flow:
         if state.is_bottom:
             return Flow(normal=state)
+        self.stmts_executed += 1
         if self.supervisor is not None:
             self.supervisor.poll_stmt(self, s)
         if self.cfg.trace:
@@ -630,11 +680,14 @@ class Iterator:
         if self._fixpoint_depth == 1:
             self._fixpoint_ordinal += 1
         start = time.perf_counter() if self._fixpoint_depth == 1 else 0.0
+        lat_start = self.ctx.lattice_seconds if self._fixpoint_depth == 1 else 0.0
         try:
             return self._loop_fixpoint_inner(entry, s)
         finally:
             if self._fixpoint_depth == 1:
                 self.fixpoint_seconds += time.perf_counter() - start
+                self.fixpoint_lattice_seconds += \
+                    self.ctx.lattice_seconds - lat_start
             self._fixpoint_depth -= 1
             self.alarms.checking = was_checking
 
@@ -653,6 +706,23 @@ class Iterator:
                                        self._fixpoint_ordinal)
             if restored is not None:
                 inv, prev_unstable, fairness_left, start_it = restored
+        # Incremental body re-execution (repro.iterator.incremental):
+        # off under tracing (visit counts would diverge); partitioned
+        # regions are excluded inside exec_block itself.  The flag is
+        # only raised here, where alarms.checking is off, so a skipped
+        # statement can never lose an alarm.
+        use_incr = self.cfg.incremental and not self.cfg.trace
+
+        def run_body(body_state):
+            if not use_incr:
+                return self._exec_body_once(body_state, s)
+            prev_active = self._incr_active
+            self._incr_active = True
+            try:
+                return self._exec_body_once(body_state, s)
+            finally:
+                self._incr_active = prev_active
+
         eps = self.cfg.iteration_epsilon
         for it in range(start_it, self.cfg.max_widening_iterations):
             if sup is not None:
@@ -661,7 +731,7 @@ class Iterator:
                                           prev_unstable, fairness_left)
             self.widening_iterations += 1
             body_in = self.guards.guard(inv, s.cond, True, s.sid, s.loc)
-            after, _, _, _ = self._exec_body_once(body_in, s)
+            after, _, _, _ = run_body(body_in)
             target = entry.join(after)
             if inv.includes(target):
                 break  # post-fixpoint reached (exact check, Sect. 7.1.4)
@@ -689,10 +759,10 @@ class Iterator:
             # to infinity, so the rounds are bounded by the length of the
             # dependency chains; a genuine post-fixpoint is REQUIRED before
             # narrowing and checking may run (soundness).
-            fallback_rounds = 64 + len(list(inv.env.cells.items()))
+            fallback_rounds = 64 + len(inv.env.cells)
             for _ in range(fallback_rounds):
                 body_in = self.guards.guard(inv, s.cond, True, s.sid, s.loc)
-                after, _, _, _ = self._exec_body_once(body_in, s)
+                after, _, _, _ = run_body(body_in)
                 target = entry.join(after)
                 if inv.includes(target):
                     break
@@ -725,7 +795,7 @@ class Iterator:
         # retracts finite threshold bounds, not just infinite ones.
         for _ in range(self.cfg.narrowing_steps):
             body_in = self.guards.guard(inv, s.cond, True, s.sid, s.loc)
-            after, _, _, _ = self._exec_body_once(body_in, s)
+            after, _, _, _ = run_body(body_in)
             target = entry.join(after)
             if inv.includes(target):
                 if target.includes(inv):

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional, Sequence, Tuple
 
 from ..domains.values import CellValue, ClockInfo
+from . import interning
 from .cells import CellInfo, CellTable
 from .fmap import PMap
 
@@ -46,24 +47,43 @@ class MemoryEnv:
 
     # -- cell access ------------------------------------------------------------
 
+    def __len__(self) -> int:
+        """Number of constrained cells — O(1), from the map's root size."""
+        return len(self.cells)
+
     def get(self, cid: int) -> Optional[CellValue]:
-        return self.cells.get(cid)
+        return self.cells.find(cid)
 
     def set(self, cid: int, value: CellValue) -> "MemoryEnv":
-        """Strong update."""
+        """Strong update.
+
+        A write of an ``==``-equal value returns ``self`` unchanged:
+        re-executed statements that recompute last iteration's value
+        leave the environment physically identical, so every downstream
+        sharing shortcut (merge, diff, includes) sees no change at all.
+        New values are interned so equal values computed at different
+        times or cells collapse to one representative.
+        """
         if self.bottom:
             return self
         if value.is_bottom:
             return self.to_bottom()
-        return MemoryEnv(self.cells.set(cid, value), self.clock)
+        old = self.cells.find(cid)
+        if old is not None and (old is value or old == value):
+            return self
+        return MemoryEnv(self.cells.set(cid, interning.intern_value(value)),
+                         self.clock)
 
     def weak_set(self, cid: int, value: CellValue) -> "MemoryEnv":
         """Weak update: the cell may keep its old value (Sect. 6.1.3)."""
         if self.bottom:
             return self
-        old = self.cells.get(cid)
+        old = self.cells.find(cid)
         joined = value if old is None else old.join(value)
-        return MemoryEnv(self.cells.set(cid, joined), self.clock)
+        if old is not None and (joined is old or joined == old):
+            return self
+        return MemoryEnv(self.cells.set(cid, interning.intern_value(joined)),
+                         self.clock)
 
     def remove(self, cid: int) -> "MemoryEnv":
         if self.bottom:
@@ -91,7 +111,8 @@ class MemoryEnv:
         if self.bottom:
             return self
         new_cells = self.cells.map_values(
-            lambda cid, v: v.on_clock_tick() if v.has_clock else v
+            lambda cid, v: interning.intern_value(v.on_clock_tick())
+            if v.has_clock else v
         )
         return MemoryEnv(new_cells, self.clock.tick())
 

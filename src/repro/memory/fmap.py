@@ -247,6 +247,34 @@ def _map_values_opt(node: Optional[_Node],
     return _join(node.key, new_value, new_left, new_right)
 
 
+def _intern_node(node: Optional[_Node], pool: dict,
+                 intern_value) -> Optional[_Node]:
+    """Bottom-up hash-consing of tree nodes.
+
+    ``pool`` maps ``(key, id(value), id(left), id(right))`` to a
+    canonical node.  The pool holds strong references to every pooled
+    node (and therefore its children), so the ids stay valid for the
+    pool's lifetime.  Value objects may additionally be canonicalized
+    through ``intern_value`` first, so two trees built independently
+    from equal items collapse to one shared structure.
+    """
+    if node is None:
+        return None
+    left = _intern_node(node.left, pool, intern_value)
+    right = _intern_node(node.right, pool, intern_value)
+    value = intern_value(node.value) if intern_value is not None else node.value
+    key = (node.key, id(value), id(left), id(right))
+    got = pool.get(key)
+    if got is not None:
+        return got
+    if left is node.left and right is node.right and value is node.value:
+        canon = node
+    else:
+        canon = _Node(node.key, value, left, right)
+    pool[key] = canon
+    return canon
+
+
 def _iter_items(node: Optional[_Node]) -> Iterator[Tuple[Any, Any]]:
     stack = []
     while node is not None or stack:
@@ -317,6 +345,17 @@ class PMap:
             return _get(self._root, key)
         return default
 
+    def find(self, key):
+        """Single-traversal lookup returning None when the key is absent.
+
+        Only valid for maps that never store None values — true of every
+        map in the analyzer (cell values, octagons, trees, ellipsoid
+        bounds).  ``get`` needs two traversals to distinguish an absent
+        key from a stored default; on the hot paths that distinction
+        never arises.
+        """
+        return _get(self._root, key)
+
     def __getitem__(self, key):
         if not _contains(self._root, key):
             raise KeyError(key)
@@ -381,6 +420,17 @@ class PMap:
     def diff_keys(self, other: "PMap") -> Iterator[Any]:
         """Keys whose values are not physically shared between the maps."""
         return _diff_keys(self._root, other._root)
+
+    def intern(self, pool: dict, intern_value=None) -> "PMap":
+        """Hash-cons this map's nodes against ``pool`` (see
+        :func:`_intern_node`).  Returns a value-equal map whose subtrees
+        are shared with every other map interned against the same pool —
+        used to restore cross-structure sharing after deserialization.
+        """
+        new_root = _intern_node(self._root, pool, intern_value)
+        if new_root is self._root:
+            return self
+        return PMap(new_root) if new_root is not None else _EMPTY
 
     def ptr_equal(self, other: "PMap") -> bool:
         """Physical identity of the underlying trees (constant time)."""

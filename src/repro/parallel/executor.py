@@ -268,6 +268,11 @@ def _install_context(ctx) -> None:
     global _WORKER_CTX, _WORKER_SIDS
     _WORKER_CTX = ctx
     set_active_context(ctx)
+    # Size this worker's process-global sharing caches (value intern
+    # pool, octagon closure memo) the same way the parent did.
+    from ..analysis import _configure_sharing
+
+    _configure_sharing(ctx.config)
     index: Dict[int, I.Stmt] = {}
     for fn in ctx.prog.functions.values():
         if fn.body:
@@ -333,6 +338,8 @@ def _run_tasks(payload: dict) -> List[Tuple[int, dict]]:
             "useful_oct": set(ctx.useful_oct_packs),
             "useful_bool": set(ctx.useful_bool_packs),
             "widening": it.widening_iterations,
+            "executed": it.stmts_executed,
+            "skipped": it.stmts_skipped,
             "visits": sorted(it.visit_counts.items()),
             "invariants": sorted(
                 (lid, _state_delta(base, inv))
@@ -500,6 +507,8 @@ class ParallelEngine:
         self.ctx.useful_oct_packs.update(res["useful_oct"])
         self.ctx.useful_bool_packs.update(res["useful_bool"])
         it.widening_iterations += res["widening"]
+        it.stmts_executed += res["executed"]
+        it.stmts_skipped += res["skipped"]
         for sid, n in res["visits"]:
             it.visit_counts[sid] = it.visit_counts.get(sid, 0) + n
         for lid, delta in res["invariants"]:

@@ -21,6 +21,13 @@ def render_markdown(result: AnalysisResult, title: str = "Analysis report") -> s
     lines: List[str] = [f"# {title}", ""]
     lines.append(f"* analysis time: **{result.analysis_time:.2f} s**")
     lines.append(f"* widening iterations: {result.widening_iterations}")
+    total_stmts = result.stmts_executed + result.stmts_skipped
+    if total_stmts:
+        mode = "incremental" if result.incremental else "full"
+        pct = 100.0 * result.stmts_skipped / total_stmts
+        lines.append(f"* statements ({mode}): {result.stmts_executed} "
+                     f"executed, {result.stmts_skipped} skipped "
+                     f"({pct:.1f}%)")
     lines.append(f"* octagon packs: {result.octagon_pack_count} "
                  f"({len(result.useful_octagon_packs)} useful, "
                  f"avg size {result.octagon_pack_avg_size:.1f})")
@@ -92,6 +99,13 @@ def render_json(result: AnalysisResult) -> str:
         ],
         "analysis_time_s": result.analysis_time,
         "widening_iterations": result.widening_iterations,
+        "incremental": {
+            "enabled": result.incremental,
+            "stmts_executed": result.stmts_executed,
+            "stmts_skipped": result.stmts_skipped,
+            "lattice_memo_hits": result.lattice_memo_hits,
+            "lattice_memo_misses": result.lattice_memo_misses,
+        },
         "packing": {
             "octagon_packs": result.octagon_pack_count,
             "octagon_pack_avg_size": result.octagon_pack_avg_size,

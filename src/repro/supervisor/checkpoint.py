@@ -51,7 +51,15 @@ def context_fingerprint(ctx) -> str:
     statement ids, cell ids, pack layout, and the analysis-relevant
     starting configuration.  A resume against a different program or a
     differently-parameterized run is rejected up front instead of
-    producing silently wrong (key-shifted) states."""
+    producing silently wrong (key-shifted) states.
+
+    Deliberately excluded: the sharing/memoization knobs (incremental,
+    lattice_memo_size, value_intern_size, closure_memo_size) and jobs.
+    They affect physical identity and wall time only — results are
+    bit-identical across their settings — so a checkpoint written under
+    one setting must resume under any other.  (The intern pools are
+    process-local; resume re-canonicalizes via reintern_env, keyed on
+    values, never on intern ids.)"""
     from ..frontend import ir as I
 
     h = hashlib.sha256()

@@ -66,6 +66,9 @@ class Supervisor:
         # Set by analyze_program when jobs > 1 (shut down on first trip
         # to stop paying worker memory/dispatch costs).
         self.engine = None
+        # Set by attach_context: needed to flush configuration-derived
+        # caches when a degradation rung mutates the config mid-run.
+        self.ctx = None
         self._t0 = time.perf_counter()
         self._watchdog = BudgetWatchdog(self.budget, self._t0,
                                         self._trip,
@@ -95,6 +98,7 @@ class Supervisor:
         """Bind the built AnalysisContext: compute the fingerprint and,
         when resuming, load + validate the checkpoint and re-apply its
         recorded degradation rungs."""
+        self.ctx = ctx
         self._fingerprint = context_fingerprint(ctx)
         path = self.config.resume_path
         if not path:
@@ -182,6 +186,11 @@ class Supervisor:
             return
         name, rung_detail = step
         self.degraded = True
+        if self.ctx is not None:
+            # The rung mutated the config in place: every cache whose
+            # keys or results depend on it (lattice memo, incremental
+            # executors' footprints and records) is now stale.
+            self.ctx.invalidate_derived_caches()
         self.incidents.record(reason, action=f"degrade:{name}",
                               detail=f"{detail}; {rung_detail}")
 

@@ -126,5 +126,8 @@ class TestEnvSharing:
                             plus_clock=IntInterval.of(0, 0))
         env = env.set(0, plain).set(1, clocked)
         ticked = env.tick()
-        assert ticked.get(0) is plain  # physically shared: untouched
+        # Physically shared: untouched.  (Compared against the env's own
+        # object, not `plain` — set() may intern to an ==-equal canonical
+        # representative.)
+        assert ticked.get(0) is env.get(0)
         assert ticked.get(1).minus_clock == IntInterval.of(-1, -1)

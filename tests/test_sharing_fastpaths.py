@@ -169,6 +169,12 @@ def test_self_join_returns_closed_without_extra_work():
 
 
 def test_pickle_drops_cache_but_preserves_matrix_and_flags():
+    # This test pins the *per-instance* cache: the process-global
+    # closure memo (left enabled by any earlier analyze() run) would
+    # satisfy the re-close below without a recomputation.
+    from repro.domains.octagon import configure_closure_memo
+
+    configure_closure_memo(0)
     o = _raw_octagon()
     o.closed()
     assert o._closed_cache is not None
