@@ -4,12 +4,18 @@ Subcommands:
 
 * ``analyze FILE...`` — analyze C sources and print alarms;
 * ``generate --kloc N --seed S`` — emit a family program to stdout;
-* ``slice FILE --line L`` — backward slice from the alarm nearest a line.
+* ``slice FILE --line L`` — backward slice from the alarm nearest a line;
+* ``fuzz`` — run a soundness fuzzing campaign (or ``--replay`` one case).
 
 Exit codes (``analyze``; see :class:`repro.errors.ExitCode` and
 docs/robustness.md): 0 all properties proved, 1 alarms at full
 precision, 2 sound-but-degraded verdict (a resource budget tripped),
-3 internal error / no verdict.
+3 internal error / no verdict.  ``fuzz``: 0 campaign clean, 1 unsound
+or crash outcomes found, 3 internal error.
+
+On internal errors the CLI prints a structured one-line diagnostic to
+stderr (``astree-repro: internal-error: phase=<...> class=<...>:
+<message>``) before exiting 3, so wrappers never see a silent failure.
 """
 
 from __future__ import annotations
@@ -21,7 +27,11 @@ from typing import List, Optional
 
 from .analysis import analyze
 from .config import AnalyzerConfig, baseline_config
-from .errors import ExitCode, ReproError
+from .errors import (
+    AnalysisError, CheckpointError, ExitCode, LinkError, ReproError,
+    SourceError, SupervisorHalt,
+)
+from .frontend import read_source_file
 
 __all__ = ["main"]
 
@@ -103,10 +113,10 @@ def _print_stats(result) -> None:
 
 
 def cmd_analyze(args) -> int:
-    sources = []
-    for path in args.files:
-        with open(path) as f:
-            sources.append((path, f.read()))
+    # read_source_file rejects BOMs, CRLF line endings and non-UTF-8
+    # bytes with a located PreprocessorError (exit 3) instead of letting
+    # a UnicodeDecodeError escape.
+    sources = [(path, read_source_file(path)) for path in args.files]
     cfg = _build_config(args)
     result = analyze(sources, config=cfg, entry=args.entry)
     if args.json:
@@ -183,8 +193,7 @@ def cmd_generate(args) -> int:
 def cmd_slice(args) -> int:
     from .slicer import Slicer
 
-    with open(args.file) as f:
-        text = f.read()
+    text = read_source_file(args.file)
     cfg = _build_config(args)
     result = analyze(text, args.file, config=cfg, entry=args.entry)
     if not result.alarms:
@@ -197,6 +206,53 @@ def cmd_slice(args) -> int:
     print(f"criterion: {target}")
     print(sl.format())
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from .fuzz import CampaignConfig, replay_case, run_campaign
+    from .report import render_campaign_markdown
+
+    if args.replay:
+        res = replay_case(args.replay, isolation=not args.in_process,
+                          case_timeout_s=args.case_timeout)
+        verdict = res.to_json(full=True)
+        # The replayed verdict is bit-identical run to run; keep the
+        # printed form that way too (timing is not part of the verdict).
+        del verdict["wall_time_s"]
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+        return 1 if res.outcome in ("crash", "unsound", "timeout") else 0
+
+    config = CampaignConfig(
+        campaign_seed=args.seed,
+        cases=args.cases,
+        max_wall_s=args.max_wall,
+        case_timeout_s=args.case_timeout,
+        isolation=not args.in_process,
+        corpus_dir=args.corpus,
+        reduce_failures=not args.no_reduce,
+        min_kloc=args.min_kloc,
+        max_kloc=args.max_kloc,
+        max_mutations=args.max_mutations,
+        streams=args.streams,
+        max_ticks=args.max_ticks,
+        inject_crash=args.inject_crash,
+    )
+
+    def progress(res) -> None:
+        if not args.quiet:
+            print(f"[{res.spec.case_id}] {res.outcome} "
+                  f"({res.wall_time_s:.1f}s)", flush=True)
+
+    report = run_campaign(config, progress=progress)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(report.to_json(), f, indent=1, sort_keys=True)
+            f.write("\n")
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1, sort_keys=True))
+    else:
+        print(render_campaign_markdown(report), end="")
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -283,22 +339,84 @@ def main(argv: Optional[List[str]] = None) -> int:
     ps.add_argument("--invariants", action="store_true")
     ps.set_defaults(func=cmd_slice)
 
+    pf = sub.add_parser("fuzz", help="run a soundness fuzzing campaign")
+    pf.add_argument("--seed", type=int, default=0,
+                    help="campaign seed; every case spec, mutation and "
+                         "input stream derives from it (default 0)")
+    pf.add_argument("--cases", type=int, default=50,
+                    help="number of cases to generate (default 50)")
+    pf.add_argument("--max-wall", type=float, default=None,
+                    metavar="SECONDS",
+                    help="campaign wall-clock budget; remaining cases "
+                         "are skipped once it trips")
+    pf.add_argument("--case-timeout", type=float, default=120.0,
+                    metavar="SECONDS",
+                    help="per-case subprocess timeout (default 120)")
+    pf.add_argument("--in-process", action="store_true",
+                    help="run cases in this process instead of isolated "
+                         "workers (faster, but a crash kills the run)")
+    pf.add_argument("--corpus", default=None, metavar="DIR",
+                    help="persist failing case specs (and reductions) "
+                         "as replayable JSON files in DIR")
+    pf.add_argument("--replay", default=None, metavar="CASE.json",
+                    help="re-execute one corpus case and print its "
+                         "verdict (bit-identical digest)")
+    pf.add_argument("--no-reduce", action="store_true",
+                    help="skip delta-debugging reduction of failures")
+    pf.add_argument("--streams", type=int, default=3,
+                    help="concrete input streams per case (default 3)")
+    pf.add_argument("--max-ticks", type=int, default=48,
+                    help="concrete ticks per stream (default 48)")
+    pf.add_argument("--min-kloc", type=float, default=0.06)
+    pf.add_argument("--max-kloc", type=float, default=0.2)
+    pf.add_argument("--max-mutations", type=int, default=3)
+    pf.add_argument("--inject-crash", default=None, metavar="BLOCK",
+                    help="fault injection: crash the worker on cases "
+                         "whose program contains this block type "
+                         "(validates triage and reduction)")
+    pf.add_argument("--json", action="store_true",
+                    help="print the campaign report as JSON")
+    pf.add_argument("--json-out", default=None, metavar="PATH",
+                    help="also write the campaign report JSON to PATH")
+    pf.add_argument("--quiet", action="store_true",
+                    help="suppress per-case progress lines")
+    pf.set_defaults(func=cmd_fuzz)
+
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
-        # Frontend/analyzer errors, unusable checkpoints, simulated
-        # kills: no verdict was produced.
-        print(f"astree-repro: error: {exc}", file=sys.stderr)
-        return int(ExitCode.INTERNAL_ERROR)
-    except OSError as exc:
-        print(f"astree-repro: error: {exc}", file=sys.stderr)
-        return int(ExitCode.INTERNAL_ERROR)
-    except Exception:
+    except Exception as exc:  # noqa: BLE001 — single structured funnel
+        return _internal_error(exc)
+
+
+def _error_phase(exc: BaseException) -> str:
+    """Coarse phase classification for the structured diagnostic."""
+    if isinstance(exc, (SourceError, LinkError)):
+        return "frontend"
+    if isinstance(exc, CheckpointError):
+        return "checkpoint"
+    if isinstance(exc, (AnalysisError, SupervisorHalt)):
+        return "analysis"
+    if isinstance(exc, ReproError):
+        return "analyzer"
+    if isinstance(exc, OSError):
+        return "io"
+    return "unexpected"
+
+
+def _internal_error(exc: BaseException) -> int:
+    """No verdict was produced.  Emit a structured one-line diagnostic
+    (phase, exception class, message) to stderr — never exit 3 silently
+    — with a traceback first for genuinely unexpected exceptions."""
+    phase = _error_phase(exc)
+    if phase == "unexpected":
         import traceback
 
         traceback.print_exc()
-        return int(ExitCode.INTERNAL_ERROR)
+    message = str(exc) or exc.__class__.__name__
+    print(f"astree-repro: internal-error: phase={phase} "
+          f"class={type(exc).__name__}: {message}", file=sys.stderr)
+    return int(ExitCode.INTERNAL_ERROR)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,6 +2,8 @@
 
 from .interpreter import (
     ConcreteError, ConcreteInterpreter, RandomInputs, TraceEntry,
+    derive_seed,
 )
 
-__all__ = ["ConcreteError", "ConcreteInterpreter", "RandomInputs", "TraceEntry"]
+__all__ = ["ConcreteError", "ConcreteInterpreter", "RandomInputs",
+           "TraceEntry", "derive_seed"]

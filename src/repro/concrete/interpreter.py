@@ -18,6 +18,7 @@ error must be covered by an alarm.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass, field
@@ -31,7 +32,22 @@ from ..frontend.c_types import (
     RecordType,
 )
 
-__all__ = ["ConcreteError", "ConcreteInterpreter", "RandomInputs", "TraceEntry"]
+__all__ = ["ConcreteError", "ConcreteInterpreter", "RandomInputs",
+           "TraceEntry", "derive_seed"]
+
+
+def derive_seed(*parts) -> int:
+    """A stable 63-bit seed derived from heterogeneous parts.
+
+    Every differential/fuzz run draws its volatile inputs from a
+    :class:`RandomInputs` seeded through this function, so a whole
+    campaign is reproducible from a single root seed:
+    ``derive_seed(campaign_seed, case_index, "stream", k)`` names the
+    k-th input stream of one case, independent of Python's hash
+    randomization and of any module-level ``random`` state.
+    """
+    h = hashlib.sha256(repr(parts).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big") >> 1
 
 
 class ConcreteError(Exception):
@@ -61,11 +77,23 @@ class _OutOfFuel(Exception):
 
 
 class RandomInputs:
-    """Volatile input provider: fresh uniform draw per read."""
+    """Volatile input provider: fresh uniform draw per read.
 
-    def __init__(self, ranges: Dict[str, Tuple[float, float]], seed: int = 0):
+    The seed is *explicit* (no default): every consumer must say which
+    stream it is drawing, so differential and fuzzing runs replay
+    bit-identically from a single campaign seed (see :func:`derive_seed`).
+    The provider owns its own :class:`random.Random` — it never touches
+    module-level ``random`` state.
+    """
+
+    def __init__(self, ranges: Dict[str, Tuple[float, float]], seed: int):
         self.ranges = ranges
+        self.seed = seed
         self.rng = random.Random(seed)
+
+    def fork(self, stream: int) -> "RandomInputs":
+        """An independent, reproducible substream over the same ranges."""
+        return RandomInputs(self.ranges, derive_seed(self.seed, "fork", stream))
 
     def read(self, var: I.Var):
         lo, hi = self.ranges.get(var.name, (0, 0))
@@ -306,7 +334,28 @@ class ConcreteInterpreter:
             return int(not _truthy(self._eval(e.arg, site)))
         if isinstance(e, I.Cast):
             v = self._eval(e.arg, site)
-            return _convert(v, e.ctype)
+            if isinstance(v, float) and isinstance(e.ctype, (IntType, EnumType)):
+                # C leaves out-of-range float->int casts undefined; the
+                # analyzer alarms cast-out-of-range and wipes.  Mirror it:
+                # record the error and saturate so execution stays total.
+                bits, signed = _int_layout(e.ctype)
+                lo = -(1 << (bits - 1)) if signed else 0
+                hi = (1 << (bits - 1 if signed else bits)) - 1
+                if math.isnan(v):
+                    self._error("cast-out-of-range", site,
+                                "NaN cast to integer")
+                    return 0
+                if not (lo - 1.0 < v < hi + 1.0):
+                    self._error("cast-out-of-range", site,
+                                f"{v!r} outside [{lo}, {hi}]")
+                    return lo if v < 0 else hi
+            out = _convert(v, e.ctype)
+            if (isinstance(out, float) and not math.isfinite(out)
+                    and isinstance(v, (int, float))
+                    and math.isfinite(float(v))):
+                self._error("float-overflow", site,
+                            f"{v!r} overflows {e.ctype}")
+            return out
         raise TypeError(f"unknown expression {e!r}")  # pragma: no cover
 
     def _binop(self, e: I.BinOp, a, b, site):
@@ -322,7 +371,15 @@ class ConcreteInterpreter:
                 return 0.0
             raw = {"add": a + b, "sub": a - b, "mul": a * b,
                    "div": a / b if b != 0.0 else 0.0}[op]
-            return _convert(raw, e.ctype)
+            out = _convert(raw, e.ctype)
+            if (not math.isfinite(out) and math.isfinite(a)
+                    and math.isfinite(b)):
+                # Overflow past the format's range (the analyzer's
+                # FLOAT_OVERFLOW alarm wipes these executions).
+                self._error("float-overflow" if math.isinf(out)
+                            else "invalid-float-operation", site,
+                            f"{op} produced {out!r}")
+            return out
         ia, ib = int(a), int(b)
         if op in ("div", "mod") and ib == 0:
             self._error("division-by-zero" if op == "div" else "modulo-by-zero",
@@ -391,13 +448,14 @@ def _truthy(v) -> bool:
     return v != 0
 
 
+def _int_layout(ctype) -> Tuple[int, bool]:
+    if isinstance(ctype, IntType):
+        return ctype.bits, ctype.signed
+    return 32, True
+
+
 def _wrap_int(value: int, ctype) -> int:
-    if isinstance(ctype, EnumType):
-        bits, signed = 32, True
-    elif isinstance(ctype, IntType):
-        bits, signed = ctype.bits, ctype.signed
-    else:  # pragma: no cover
-        bits, signed = 32, True
+    bits, signed = _int_layout(ctype)
     mask = (1 << bits) - 1
     value &= mask
     if signed and value >= (1 << (bits - 1)):
@@ -413,5 +471,9 @@ def _convert(value, ctype):
             return float(np.float32(value))
         return float(value)
     if isinstance(ctype, (IntType, EnumType)):
+        if isinstance(value, float) and not math.isfinite(value):
+            # Backstop for conversions without an explicit Cast node;
+            # the Cast path records the error before reaching here.
+            return 0
         return _wrap_int(int(value), ctype)
     return value

@@ -2,12 +2,17 @@
 
 from .linker import compile_files, compile_source, link_sources
 from .parser import parse
-from .preprocessor import preprocess
+from .preprocessor import (
+    check_source_text, decode_source, preprocess, read_source_file,
+)
 
 __all__ = [
+    "check_source_text",
     "compile_files",
     "compile_source",
+    "decode_source",
     "link_sources",
     "parse",
     "preprocess",
+    "read_source_file",
 ]

@@ -15,7 +15,7 @@ from ..errors import LinkError, TypeError_, UnsupportedConstructError
 from .ir import IRProgram
 from .lowering import Lowerer
 from .parser import parse
-from .preprocessor import preprocess
+from .preprocessor import preprocess, read_source_file
 
 __all__ = ["link_sources", "compile_source"]
 
@@ -73,7 +73,6 @@ def compile_files(
     """Compile and link source files from disk."""
     sources = []
     for path in paths:
-        with open(path, "r") as f:
-            sources.append((path, f.read()))
+        sources.append((path, read_source_file(path)))
     return link_sources(sources, entry=entry, include_dirs=include_dirs,
                         predefined=predefined)

@@ -17,7 +17,56 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PreprocessorError
 
-__all__ = ["preprocess", "Preprocessor", "MacroDef"]
+__all__ = ["preprocess", "Preprocessor", "MacroDef", "decode_source",
+           "check_source_text", "read_source_file"]
+
+_UTF8_BOM = b"\xef\xbb\xbf"
+
+
+def decode_source(data: bytes, filename: str = "<input>") -> str:
+    """Decode raw source bytes, rejecting malformed encodings up front.
+
+    A production frontend must never die with a ``UnicodeDecodeError`` on
+    user input: a UTF-8 BOM, CRLF/CR line endings, NUL bytes and
+    non-UTF-8 bytes are all rejected with a located
+    :class:`PreprocessorError` (CLI exit 3 under the contract).
+    """
+    if data.startswith(_UTF8_BOM):
+        raise PreprocessorError(
+            "file starts with a UTF-8 byte-order mark; save it as plain "
+            "UTF-8 without BOM", filename, 1, 1)
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        line = data[:exc.start].count(b"\n") + 1
+        raise PreprocessorError(
+            f"file is not valid UTF-8 (byte 0x{data[exc.start]:02x} at "
+            f"offset {exc.start}: {exc.reason})", filename, line, 0)
+    check_source_text(text, filename)
+    return text
+
+
+def check_source_text(text: str, filename: str = "<input>") -> None:
+    """Reject source *text* the lexer must never see: BOM characters,
+    CRLF (or bare CR) line endings and embedded NUL characters."""
+    if text.startswith("\ufeff"):
+        raise PreprocessorError(
+            "file starts with a UTF-8 byte-order mark; save it as plain "
+            "UTF-8 without BOM", filename, 1, 1)
+    for ch, what in (("\r", "CRLF (or bare CR) line endings; convert the "
+                            "file to LF line endings"),
+                     ("\x00", "an embedded NUL character")):
+        pos = text.find(ch)
+        if pos >= 0:
+            line = text.count("\n", 0, pos) + 1
+            raise PreprocessorError(f"file contains {what}",
+                                    filename, line, 0)
+
+
+def read_source_file(path: str) -> str:
+    """Read and decode one source file with the checks above applied."""
+    with open(path, "rb") as f:
+        return decode_source(f.read(), path)
 
 _TOKEN_RE = re.compile(
     r"""
@@ -93,6 +142,7 @@ class Preprocessor:
         self._macros.pop(name, None)
 
     def run(self, source: str, filename: str) -> str:
+        check_source_text(source, filename)
         out: List[str] = []
         self._process(source, filename, out)
         return "\n".join(out) + "\n"
@@ -392,5 +442,4 @@ def _join_tokens(tokens: List[str]) -> str:
 
 
 def _default_reader(path: str) -> str:
-    with open(path, "r") as f:
-        return f.read()
+    return read_source_file(path)

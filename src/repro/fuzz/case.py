@@ -1,0 +1,153 @@
+"""Fuzz case specifications: the unit of generation, replay and reduction.
+
+A :class:`CaseSpec` is a small, JSON-serializable recipe: family-spec
+parameters for :func:`repro.synth.generate_program` plus a list of
+mutation descriptors (see :mod:`.mutators`) and the oracle budget.  The
+spec — not the generated C text — is what the corpus stores, what
+``--replay`` re-executes, and what the delta-debugging reducer shrinks:
+building a case from its spec is deterministic, so a spec pins the whole
+verdict bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..concrete.interpreter import derive_seed
+from ..synth import FamilySpec, generate_program
+from ..synth.blocks import ALL_BLOCK_TYPES
+
+__all__ = ["CaseSpec", "BuiltCase", "build_case", "case_size",
+           "weights_for_types", "SPEC_VERSION"]
+
+SPEC_VERSION = 1
+
+#: Names of all block types, in weight-vector order.
+BLOCK_TYPE_NAMES = [t.__name__ for t in ALL_BLOCK_TYPES]
+
+
+def weights_for_types(enabled: List[str]) -> List[float]:
+    """A weight vector enabling exactly the named block types."""
+    unknown = set(enabled) - set(BLOCK_TYPE_NAMES)
+    if unknown:
+        raise ValueError(f"unknown block types: {sorted(unknown)}")
+    if not enabled:
+        raise ValueError("at least one block type must stay enabled")
+    return [1.0 if name in enabled else 0.0 for name in BLOCK_TYPE_NAMES]
+
+
+@dataclass
+class CaseSpec:
+    """One replayable fuzz case."""
+
+    case_id: str
+    campaign_seed: int
+    index: int
+    # Family-spec parameters (repro.synth.FamilySpec).
+    target_kloc: float = 0.15
+    family_seed: int = 0
+    version: int = 0
+    modules_per_function: int = 8
+    # Enabled block types (None = all, in ALL_BLOCK_TYPES order).
+    block_types: Optional[List[str]] = None
+    # Mutation descriptors applied, in order, to the generated program
+    # (see repro.fuzz.mutators.apply_mutations).
+    mutations: List[Dict] = field(default_factory=list)
+    # Oracle budget: seeded concrete input streams per case.
+    streams: int = 3
+    max_ticks: int = 48
+    # Analyzer overrides (e.g. per-case wall deadline for the supervisor).
+    analyzer: Dict = field(default_factory=dict)
+    # Fault-injection hook (validates the triage/reduce pipeline): crash
+    # the worker iff the built program contains this block type.
+    inject_crash: Optional[str] = None
+    spec_version: int = SPEC_VERSION
+
+    @property
+    def case_seed(self) -> int:
+        """The root seed of everything this case randomizes."""
+        return derive_seed(self.campaign_seed, "case", self.index)
+
+    def stream_seed(self, stream: int) -> int:
+        return derive_seed(self.case_seed, "stream", stream)
+
+    def to_json(self) -> Dict:
+        out = {
+            "spec_version": self.spec_version,
+            "case_id": self.case_id,
+            "campaign_seed": self.campaign_seed,
+            "index": self.index,
+            "target_kloc": self.target_kloc,
+            "family_seed": self.family_seed,
+            "version": self.version,
+            "modules_per_function": self.modules_per_function,
+            "block_types": self.block_types,
+            "mutations": self.mutations,
+            "streams": self.streams,
+            "max_ticks": self.max_ticks,
+            "analyzer": self.analyzer,
+        }
+        if self.inject_crash is not None:
+            out["inject_crash"] = self.inject_crash
+        return out
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "CaseSpec":
+        known = {
+            "case_id", "campaign_seed", "index", "target_kloc",
+            "family_seed", "version", "modules_per_function", "block_types",
+            "mutations", "streams", "max_ticks", "analyzer", "inject_crash",
+            "spec_version",
+        }
+        fields = {k: v for k, v in data.items() if k in known}
+        missing = {"case_id", "campaign_seed", "index"} - set(fields)
+        if missing:
+            raise ValueError(f"case spec is missing fields: {sorted(missing)}")
+        return cls(**fields)
+
+
+@dataclass
+class BuiltCase:
+    """The concrete artifacts a spec expands to."""
+
+    spec: CaseSpec
+    source: str
+    input_ranges: Dict[str, Tuple[float, float]]
+    max_clock: int
+    block_counts: Dict[str, int]
+    applied_mutations: List[str]
+
+
+def build_case(spec: CaseSpec) -> BuiltCase:
+    """Deterministically expand a spec into analyzable artifacts."""
+    from .mutators import apply_mutations
+
+    weights = (None if spec.block_types is None
+               else weights_for_types(spec.block_types))
+    fam = FamilySpec(target_kloc=spec.target_kloc, seed=spec.family_seed,
+                     weights=weights, version=spec.version,
+                     modules_per_function=spec.modules_per_function)
+    gp = generate_program(fam)
+    source, ranges, applied = apply_mutations(
+        gp.source, dict(gp.input_ranges), spec.mutations, spec.case_seed)
+    return BuiltCase(spec=spec, source=source, input_ranges=ranges,
+                     max_clock=gp.max_clock, block_counts=gp.block_counts,
+                     applied_mutations=applied)
+
+
+def case_size(spec: CaseSpec) -> int:
+    """Strictly-decreasing size metric for the delta-debugging reducer.
+
+    Cheap to compute (no program generation) and sensitive to every axis
+    a reduction pass shrinks: program size, mutation count, block-type
+    diversity, grouping, and the oracle budget.
+    """
+    n_types = (len(BLOCK_TYPE_NAMES) if spec.block_types is None
+               else len(spec.block_types))
+    return (int(spec.target_kloc * 1000) * 10
+            + len(spec.mutations) * 500
+            + n_types * 50
+            + spec.modules_per_function * 5
+            + spec.streams * 2
+            + spec.max_ticks)

@@ -1,0 +1,177 @@
+"""Deterministic edge-case mutators for generated family programs.
+
+Each mutator takes the generated C source plus the volatile input-range
+spec and returns transformed versions of both.  Mutations are described
+by small JSON dicts (``{"kind": ..., **params}``) so the corpus can
+replay them and the reducer can drop them one by one; all randomness is
+drawn from a :class:`random.Random` seeded per mutation from the case
+seed, never from module-level state.
+
+Soundness is *never* assumed of a mutated program: mutations may plant
+genuine run-time errors (boundary constants, out-of-range guards) — the
+oracle then demands the analyzer alarm on them, which is exactly the
+differential claim under test.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Dict, List, Tuple
+
+from ..concrete.interpreter import derive_seed
+
+__all__ = ["MUTATION_KINDS", "apply_mutations"]
+
+Ranges = Dict[str, Tuple[float, float]]
+
+# Replacement pools for boundary-constant mutation.  Float magnitudes are
+# deliberately bounded (the family runs tens of ticks; even a destabilized
+# filter stays finite in binary32, so concrete traces never reach inf/NaN
+# silently — overflow is recorded and must be covered by an alarm).
+_FLOAT_POOL = ["0.0f", "1.0f", "-1.0f", "0.001f", "-0.001f", "0.5f",
+               "2.0f", "-2.0f", "1000.0f", "-1000.0f", "100000.0f"]
+_INT_POOL = ["0", "1", "2", "7", "9", "31", "32767", "2147483646"]
+
+# Near-boundary / degenerate second-order filter coefficients (a, b):
+# stable-but-barely, marginally stable, and fully degenerate variants.
+_DEGENERATE_COEFFS = [
+    (1.9, 0.95),     # stable, slow decay: ellipsoid barely contracts
+    (1.99, 0.999),   # a^2 < 4b by a hair
+    (2.0, 1.0),      # marginally stable: a^2 == 4b, ellipsoid refused
+    (0.0, 0.0),      # degenerate: X := t
+    (0.0, 0.999),    # pure oscillator coupling
+    (1.5, 0.7),      # the family's own nominal pair, tiny input range
+]
+
+# Adversarial volatile range variants (all integral-friendly: the
+# concrete provider draws randint(ceil(lo), floor(hi)) for int inputs).
+_RANGE_VARIANTS = [
+    (0.0, 0.0),                   # zero-width at zero
+    (1.0, 1.0),                   # zero-width off zero
+    (-1.0, 1.0),                  # sign-crossing unit
+    (-1000000.0, 1000000.0),      # huge symmetric
+    (0.0, 1000000.0),             # huge one-sided
+    (-7.0, -2.0),                 # negative-only
+    (-1e-30, 1e-30),              # sub-denormal width (ints: {0})
+]
+
+_FLOAT_LIT_RE = re.compile(r"\b\d+(?:\.\d+)?(?:[eE][+-]?\d+)?f\b")
+_INT_LIT_RE = re.compile(r"(?<![\w.\[])(\d+)(?![\w.\]])")
+
+
+def _step_region(source: str) -> Tuple[int, int]:
+    """The slice of the source holding the step-function bodies."""
+    start = source.find("void step_")
+    stop = source.find("int main(void)")
+    if start < 0 or stop < 0 or stop <= start:
+        return 0, len(source)
+    return start, stop
+
+
+def _mutate_boundary_constants(source: str, ranges: Ranges, params: Dict,
+                               rng: random.Random) -> Tuple[str, Ranges]:
+    """Replace numeric literals in step bodies with boundary values."""
+    count = int(params.get("count", 2))
+    start, stop = _step_region(source)
+    region = source[start:stop]
+    for _ in range(count):
+        use_float = rng.random() < 0.75
+        pat = _FLOAT_LIT_RE if use_float else _INT_LIT_RE
+        pool = _FLOAT_POOL if use_float else _INT_POOL
+        hits = list(pat.finditer(region))
+        if not hits:
+            continue
+        hit = hits[rng.randrange(len(hits))]
+        region = (region[:hit.start()] + rng.choice(pool)
+                  + region[hit.end():])
+    return source[:start] + region + source[stop:], ranges
+
+
+def _mutate_adversarial_ranges(source: str, ranges: Ranges, params: Dict,
+                               rng: random.Random) -> Tuple[str, Ranges]:
+    """Replace some volatile input ranges with adversarial variants."""
+    count = int(params.get("count", 2))
+    names = sorted(ranges)
+    if not names:
+        return source, ranges
+    out = dict(ranges)
+    for _ in range(min(count, len(names))):
+        name = names[rng.randrange(len(names))]
+        out[name] = rng.choice(_RANGE_VARIANTS)
+    return source, out
+
+
+def _mutate_deep_nesting(source: str, ranges: Ranges, params: Dict,
+                         rng: random.Random) -> Tuple[str, Ranges]:
+    """Wrap the main-loop body in a ladder of nested conditionals."""
+    depth = max(1, min(int(params.get("depth", 8)), 40))
+    head = "    while (1) {\n"
+    tail = "        __ASTREE_wait_for_clock();\n"
+    hi = source.find(head)
+    ti = source.find(tail, hi)
+    if hi < 0 or ti < 0:
+        return source, ranges
+    body_start = hi + len(head)
+    body = source[body_start:ti]
+    wrapped = ("if (1) { " * depth) + "\n" + body + ("}" * depth) + "\n"
+    return source[:body_start] + wrapped + source[ti:], ranges
+
+
+def _mutate_degenerate_filter(source: str, ranges: Ranges, params: Dict,
+                              rng: random.Random) -> Tuple[str, Ranges]:
+    """Append a near-boundary second-order filter fed by a fresh input."""
+    variant = int(params.get("variant", rng.randrange(
+        len(_DEGENERATE_COEFFS)))) % len(_DEGENERATE_COEFFS)
+    a, b = _DEGENERATE_COEFFS[variant]
+    tag = f"fz{variant}"
+    inp = f"{tag}_in"
+    if inp in ranges:  # the same variant applied twice: idempotent
+        return source, ranges
+    decls = (f"volatile float {inp};\n"
+             f"float {tag}_X;\nfloat {tag}_Y;\n"
+             f"void fuzz_filter_{variant}(void) {{\n"
+             f"    float {tag}_t;\n"
+             f"    float {tag}_Xp;\n"
+             f"    {tag}_t = {inp};\n"
+             f"    {tag}_Xp = {a}f * {tag}_X - {b}f * {tag}_Y + {tag}_t;\n"
+             f"    {tag}_Y = {tag}_X;\n"
+             f"    {tag}_X = {tag}_Xp;\n"
+             f"}}\n\n")
+    anchor = "int main(void) {"
+    ai = source.find(anchor)
+    if ai < 0:
+        return source, ranges
+    call = f"        fuzz_filter_{variant}();\n"
+    tail = "        __ASTREE_wait_for_clock();"
+    ti = source.find(tail, ai)
+    if ti < 0:
+        return source, ranges
+    mutated = (source[:ai] + decls + source[ai:ti] + call + source[ti:])
+    out = dict(ranges)
+    out[inp] = (-1.0, 1.0)
+    return mutated, out
+
+
+MUTATION_KINDS = {
+    "boundary-constants": _mutate_boundary_constants,
+    "adversarial-ranges": _mutate_adversarial_ranges,
+    "deep-nesting": _mutate_deep_nesting,
+    "degenerate-filter": _mutate_degenerate_filter,
+}
+
+
+def apply_mutations(source: str, ranges: Ranges, mutations: List[Dict],
+                    case_seed: int) -> Tuple[str, Ranges, List[str]]:
+    """Apply mutation descriptors in order; returns the mutated source,
+    the (possibly updated) input ranges, and the applied kinds."""
+    applied: List[str] = []
+    for i, desc in enumerate(mutations):
+        kind = desc.get("kind")
+        fn = MUTATION_KINDS.get(kind)
+        if fn is None:
+            raise ValueError(f"unknown mutation kind: {kind!r}")
+        rng = random.Random(derive_seed(case_seed, "mutation", i, kind))
+        source, ranges = fn(source, ranges, desc, rng)
+        applied.append(kind)
+    return source, ranges, applied

@@ -1,0 +1,200 @@
+"""The differential soundness oracle (γ-soundness, end to end).
+
+Refactored out of the test suite (``tests/test_differential.py`` /
+``tests/test_concrete.py``) into a reusable component shared by the
+tests and the fuzzing campaign engine.  For one analyzed program it
+drives :class:`repro.concrete.ConcreteInterpreter` over N seeded input
+streams and demands the paper's two claims:
+
+* **containment** — every scalar global value reached by an error-free
+  concrete run lies inside the analyzer's main-loop invariant (or final
+  state, for straight-line programs);
+* **alarm coverage** — every run-time error kind observed concretely is
+  covered by an alarm of the same kind.
+
+Concrete runs that themselves err (overflow, division by zero, …) are
+held to the coverage claim only: the analyzer *wipes* erroneous
+executions after alarming (Sect. 5.3), so their post-error values are
+deliberately outside the invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..concrete.interpreter import (
+    ConcreteInterpreter, RandomInputs, derive_seed,
+)
+from ..memory.cells import AtomicLayout
+from ..numeric import IntInterval
+
+__all__ = [
+    "ContainmentViolation", "OracleReport", "containment_violations",
+    "final_interval", "main_loop_invariant", "run_oracle", "scalar_cells",
+    "uncovered_error_kinds",
+]
+
+
+@dataclass
+class ContainmentViolation:
+    """One concrete value that escaped the abstract invariant."""
+
+    stream: int
+    tick: int
+    name: str
+    value: Union[int, float]
+    interval: str
+
+    def to_json(self) -> Dict:
+        return {"stream": self.stream, "tick": self.tick, "name": self.name,
+                "value": self.value, "interval": self.interval}
+
+
+@dataclass
+class OracleReport:
+    """Verdict of the oracle over all input streams of one case."""
+
+    streams: int
+    max_ticks: int
+    values_checked: int = 0
+    runs_with_errors: int = 0
+    concrete_error_kinds: Dict[str, int] = field(default_factory=dict)
+    uncovered_error_kinds: List[str] = field(default_factory=list)
+    violations: List[ContainmentViolation] = field(default_factory=list)
+
+    @property
+    def sound(self) -> bool:
+        return not self.violations and not self.uncovered_error_kinds
+
+    def to_json(self) -> Dict:
+        return {
+            "streams": self.streams,
+            "max_ticks": self.max_ticks,
+            "values_checked": self.values_checked,
+            "runs_with_errors": self.runs_with_errors,
+            "concrete_error_kinds": dict(sorted(
+                self.concrete_error_kinds.items())),
+            "uncovered_error_kinds": sorted(self.uncovered_error_kinds),
+            "violations": [v.to_json() for v in self.violations],
+            "sound": self.sound,
+        }
+
+
+def scalar_cells(result) -> Dict[str, object]:
+    """Map each scalar global's name to its (atomic) cell."""
+    out: Dict[str, object] = {}
+    table = result.ctx.table
+    for var in result.ctx.prog.globals:
+        if not table.has_var(var.uid):
+            continue
+        layout = table.layout(var.uid)
+        if isinstance(layout, AtomicLayout):
+            out[var.name] = layout.cell
+    return out
+
+
+def main_loop_invariant(result):
+    """The main-loop invariant: the collected loop invariant constraining
+    the most cells (requires ``collect_invariants=True``), or ``None``."""
+    if not result.loop_invariants:
+        return None
+    return max(result.loop_invariants.values(),
+               key=lambda s: 0 if s.is_bottom else len(s.env.cells))
+
+
+def final_interval(result, name) -> IntInterval:
+    """The final abstract interval of a scalar global (straight-line
+    differential checks)."""
+    var = result.ctx.prog.global_by_name(name)
+    cell = result.ctx.table.scalar_cell(var.uid)
+    return result.final_state.env.get(cell.cid).itv
+
+
+def _contains(itv, value) -> bool:
+    if isinstance(itv, IntInterval):
+        return itv.contains(int(value))
+    return itv.contains(float(value))
+
+
+def _state_violations(result, state, values, cells, stream: int,
+                      tick: int) -> Tuple[int, List[ContainmentViolation]]:
+    checked = 0
+    out: List[ContainmentViolation] = []
+    for name, value in values.items():
+        cell = cells.get(name)
+        if cell is None or cell.volatile:
+            continue
+        av = state.env.get(cell.cid)
+        if av is None:
+            continue
+        checked += 1
+        if not _contains(av.itv, value):
+            out.append(ContainmentViolation(
+                stream=stream, tick=tick, name=name, value=value,
+                interval=repr(av.itv)))
+    return checked, out
+
+
+def containment_violations(result, interp: ConcreteInterpreter,
+                           stream: int = 0,
+                           cells: Optional[Dict] = None,
+                           ) -> Tuple[int, List[ContainmentViolation]]:
+    """Check one concrete run against the abstract results.
+
+    Every loop-head snapshot is checked against the main-loop invariant;
+    programs without collected loop invariants (straight-line code) are
+    checked via their final memory snapshot against the final state.
+    Returns ``(values_checked, violations)``.
+    """
+    cells = scalar_cells(result) if cells is None else cells
+    inv = main_loop_invariant(result)
+    checked = 0
+    violations: List[ContainmentViolation] = []
+    if inv is not None and not inv.is_bottom:
+        for entry in interp.trace:
+            n, v = _state_violations(result, inv, entry.values, cells,
+                                     stream, entry.tick)
+            checked += n
+            violations.extend(v)
+    if not interp.trace and not result.final_state.is_bottom:
+        n, v = _state_violations(result, result.final_state,
+                                 interp.snapshot(), cells, stream, -1)
+        checked += n
+        violations.extend(v)
+    return checked, violations
+
+
+def uncovered_error_kinds(result, errors) -> List[str]:
+    """Concrete error kinds not covered by any alarm of the same kind."""
+    alarm_kinds = {a.kind for a in result.alarms}
+    return sorted({e.kind for e in errors} - alarm_kinds)
+
+
+def run_oracle(prog, result, input_ranges, case_seed: int,
+               streams: int = 3, max_ticks: int = 48) -> OracleReport:
+    """Run the full oracle: N independent seeded input streams, each
+    checked for containment (error-free runs) and alarm coverage (all
+    runs).  Deterministic given ``case_seed``."""
+    report = OracleReport(streams=streams, max_ticks=max_ticks)
+    cells = scalar_cells(result)
+    uncovered = set()
+    for k in range(streams):
+        inputs = RandomInputs(dict(input_ranges),
+                              derive_seed(case_seed, "stream", k))
+        interp = ConcreteInterpreter(prog, inputs, max_ticks=max_ticks)
+        interp.run()
+        for err in interp.errors:
+            report.concrete_error_kinds[err.kind] = \
+                report.concrete_error_kinds.get(err.kind, 0) + 1
+        uncovered.update(uncovered_error_kinds(result, interp.errors))
+        if interp.errors:
+            # Post-error concrete values are wiped by the analyzer after
+            # alarming; only the coverage claim applies to this run.
+            report.runs_with_errors += 1
+            continue
+        checked, violations = containment_violations(result, interp, k, cells)
+        report.values_checked += checked
+        report.violations.extend(violations)
+    report.uncovered_error_kinds = sorted(uncovered)
+    return report

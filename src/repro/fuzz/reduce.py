@@ -1,0 +1,148 @@
+"""Spec-level delta-debugging reduction of failing fuzz cases.
+
+The reducer shrinks the *case spec* — not the generated C text — so every
+candidate stays a valid, replayable corpus entry.  A candidate is
+accepted iff it (1) reproduces the same ``(outcome, signature)`` as the
+original failure and (2) is strictly smaller under
+:func:`repro.fuzz.case.case_size`; acceptance therefore terminates (the
+size metric is a well-founded order) and the result provably preserves
+the failure it minimizes.
+
+Passes, applied to a fixpoint:
+
+* halve ``target_kloc`` (program size — the dominant size term),
+* drop mutations: halves first, then singletons (classic ddmin ladder),
+* shrink the enabled block-type set the same way,
+* collapse ``modules_per_function`` to 1,
+* shrink the oracle budget (streams, ticks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Tuple
+
+from .case import BLOCK_TYPE_NAMES, CaseSpec, case_size
+from .runner import CaseOutcome, InProcessRunner
+
+__all__ = ["ReductionResult", "reduce_case"]
+
+#: The reduction target: what must be preserved by every accepted step.
+Verdict = Tuple[str, Optional[str]]
+
+_MIN_KLOC = 0.02
+_MIN_TICKS = 8
+
+
+@dataclass
+class ReductionResult:
+    original: CaseSpec
+    reduced: CaseSpec
+    target: Verdict
+    attempts: int = 0
+    accepted_passes: List[str] = field(default_factory=list)
+
+    @property
+    def original_size(self) -> int:
+        return case_size(self.original)
+
+    @property
+    def reduced_size(self) -> int:
+        return case_size(self.reduced)
+
+    @property
+    def shrank(self) -> bool:
+        return self.reduced_size < self.original_size
+
+    def to_json(self) -> dict:
+        return {
+            "case_id": self.original.case_id,
+            "target_outcome": self.target[0],
+            "target_signature": self.target[1],
+            "attempts": self.attempts,
+            "accepted_passes": list(self.accepted_passes),
+            "original_size": self.original_size,
+            "reduced_size": self.reduced_size,
+            "reduced_spec": self.reduced.to_json(),
+        }
+
+
+def _verdict(outcome: CaseOutcome) -> Verdict:
+    return outcome.outcome, outcome.signature
+
+
+def _sublists(items: List) -> List[List]:
+    """Candidate survivor sets, largest deletions first: each half, then
+    each single-element deletion (ddmin's granularity ladder, flattened —
+    specs are tiny, so quadratic attempts are fine)."""
+    out: List[List] = []
+    n = len(items)
+    if n >= 2:
+        out.append(items[n // 2:])
+        out.append(items[:n // 2])
+    for i in range(n):
+        survivor = items[:i] + items[i + 1:]
+        if survivor and survivor not in out:
+            out.append(survivor)
+    return out
+
+
+def _candidates(spec: CaseSpec) -> List[Tuple[str, CaseSpec]]:
+    """One round of reduction candidates, biggest shrink first."""
+    out: List[Tuple[str, CaseSpec]] = []
+    if spec.target_kloc / 2 >= _MIN_KLOC:
+        out.append(("halve-kloc",
+                    replace(spec, target_kloc=spec.target_kloc / 2)))
+    for survivors in _sublists(spec.mutations):
+        out.append((f"drop-mutations-to-{len(survivors)}",
+                    replace(spec, mutations=survivors)))
+    if spec.mutations:
+        out.append(("drop-all-mutations", replace(spec, mutations=[])))
+    types = (list(BLOCK_TYPE_NAMES) if spec.block_types is None
+             else list(spec.block_types))
+    for survivors in _sublists(types):
+        out.append((f"restrict-blocks-to-{len(survivors)}",
+                    replace(spec, block_types=survivors)))
+    if spec.modules_per_function > 1:
+        out.append(("modules-per-function-1",
+                    replace(spec, modules_per_function=1)))
+    if spec.streams > 1:
+        out.append(("one-stream", replace(spec, streams=1)))
+    if spec.max_ticks // 2 >= _MIN_TICKS:
+        out.append(("halve-ticks",
+                    replace(spec, max_ticks=spec.max_ticks // 2)))
+    return out
+
+
+def reduce_case(spec: CaseSpec,
+                run: Optional[Callable[[CaseSpec], CaseOutcome]] = None,
+                max_attempts: int = 250) -> ReductionResult:
+    """Minimize a failing spec while preserving its (outcome, signature).
+
+    ``run`` executes a candidate and returns its :class:`CaseOutcome`;
+    the default is the in-process runner (deterministic, and fast enough
+    to afford the quadratic ddmin ladder).  The first execution
+    establishes the target verdict from ``spec`` itself.
+    """
+    runner = InProcessRunner()
+    run = run or runner.run_spec
+    target = _verdict(run(spec))
+    result = ReductionResult(original=spec, reduced=spec, target=target,
+                             attempts=1)
+    current = spec
+    improved = True
+    while improved and result.attempts < max_attempts:
+        improved = False
+        for name, candidate in _candidates(current):
+            if case_size(candidate) >= case_size(current):
+                continue
+            if result.attempts >= max_attempts:
+                break
+            result.attempts += 1
+            if _verdict(run(candidate)) == target:
+                current = candidate
+                result.accepted_passes.append(name)
+                improved = True
+                break  # restart pass ladder from the smaller spec
+    result.reduced = current
+    return result

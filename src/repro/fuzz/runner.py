@@ -1,0 +1,171 @@
+"""Isolated case execution: one subprocess per case, with retry/backoff.
+
+Each case runs in a fresh ``python -m repro.fuzz.worker`` process so an
+analyzer crash, a runaway allocation, or a hang is contained and
+classified instead of killing the campaign.  The runner distinguishes
+
+* **verdicts** — the worker exited 0 with a JSON payload
+  (sound / unsound / degraded / rejected),
+* **crashes** — nonzero exit; the stderr traceback is signed by
+  :func:`repro.fuzz.triage.crash_signature`,
+* **timeouts** — the per-case wall limit expired and the process was
+  killed,
+* **infrastructure failures** — spawn errors (``OSError``) or SIGKILL
+  (the OOM killer's signature), retried with exponential backoff before
+  being surfaced, so transient host pressure does not masquerade as an
+  analyzer bug.
+
+The in-process variant (:class:`InProcessRunner`) runs the identical
+worker code path in this interpreter — faster and easier to debug, used
+by the reducer and ``--in-process`` replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .case import CaseSpec
+from .triage import crash_signature
+
+__all__ = ["CaseOutcome", "InProcessRunner", "SubprocessRunner"]
+
+#: Exit statuses treated as infrastructure failures (retry, don't triage):
+#: SIGKILL is what the kernel OOM killer and batch schedulers deliver.
+_INFRA_RETURNCODES = (-9,)
+
+
+@dataclass
+class CaseOutcome:
+    """What one isolated execution of a case produced."""
+
+    outcome: str                      # sound/unsound/degraded/rejected/
+                                      # crash/timeout
+    payload: Optional[Dict] = None    # worker JSON (verdicts only)
+    signature: Optional[str] = None   # triage signature (failures only)
+    stderr_tail: str = ""
+    returncode: Optional[int] = None
+    attempts: int = 1
+    infra_retries: int = 0
+    wall_time_s: float = 0.0
+
+
+def _stderr_tail(text: str, limit: int = 4000) -> str:
+    return text[-limit:] if len(text) > limit else text
+
+
+class SubprocessRunner:
+    """Runs case specs in isolated worker subprocesses."""
+
+    def __init__(self, timeout_s: Optional[float] = 120.0,
+                 infra_retries: int = 2, backoff_s: float = 0.5,
+                 python: Optional[str] = None):
+        self.timeout_s = timeout_s
+        self.infra_retries = infra_retries
+        self.backoff_s = backoff_s
+        self.python = python or sys.executable
+
+    def _env(self) -> Dict[str, str]:
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (src_dir if not existing
+                             else src_dir + os.pathsep + existing)
+        return env
+
+    def run_spec(self, spec: CaseSpec) -> CaseOutcome:
+        job = json.dumps({"spec": spec.to_json()})
+        env = self._env()
+        started = time.perf_counter()
+        retries = 0
+        while True:
+            attempts = retries + 1
+            try:
+                proc = subprocess.run(
+                    [self.python, "-m", "repro.fuzz.worker"],
+                    input=job, capture_output=True, text=True,
+                    timeout=self.timeout_s, env=env)
+            except subprocess.TimeoutExpired as exc:
+                stderr = exc.stderr or ""
+                if isinstance(stderr, bytes):
+                    stderr = stderr.decode("utf-8", "replace")
+                return CaseOutcome(
+                    outcome="timeout",
+                    signature=f"timeout|{self.timeout_s}s|",
+                    stderr_tail=_stderr_tail(stderr),
+                    attempts=attempts, infra_retries=retries,
+                    wall_time_s=time.perf_counter() - started)
+            except OSError as exc:
+                # Could not even spawn the worker: host-level trouble.
+                if retries < self.infra_retries:
+                    time.sleep(self.backoff_s * (2 ** retries))
+                    retries += 1
+                    continue
+                return CaseOutcome(
+                    outcome="crash",
+                    signature=f"infra|spawn|{type(exc).__name__}",
+                    stderr_tail=str(exc), attempts=attempts,
+                    infra_retries=retries,
+                    wall_time_s=time.perf_counter() - started)
+            if proc.returncode == 0:
+                try:
+                    payload = json.loads(proc.stdout)
+                except (json.JSONDecodeError, ValueError):
+                    return CaseOutcome(
+                        outcome="crash",
+                        signature="infra|invalid-worker-output|",
+                        stderr_tail=_stderr_tail(proc.stderr),
+                        returncode=0, attempts=attempts,
+                        infra_retries=retries,
+                        wall_time_s=time.perf_counter() - started)
+                return CaseOutcome(
+                    outcome=payload.get("outcome", "crash"),
+                    payload=payload, returncode=0, attempts=attempts,
+                    infra_retries=retries,
+                    wall_time_s=time.perf_counter() - started)
+            if (proc.returncode in _INFRA_RETURNCODES
+                    and retries < self.infra_retries):
+                time.sleep(self.backoff_s * (2 ** retries))
+                retries += 1
+                continue
+            return CaseOutcome(
+                outcome="crash",
+                signature=crash_signature(proc.stderr),
+                stderr_tail=_stderr_tail(proc.stderr),
+                returncode=proc.returncode, attempts=attempts,
+                infra_retries=retries,
+                wall_time_s=time.perf_counter() - started)
+
+
+class InProcessRunner:
+    """Runs the identical worker code path inside this interpreter.
+
+    Crashes are caught and signed from the live traceback — the same
+    :func:`crash_signature` format the subprocess path derives from
+    worker stderr, so signatures agree across isolation modes.
+    """
+
+    def run_spec(self, spec: CaseSpec) -> CaseOutcome:
+        from .worker import execute_spec
+
+        started = time.perf_counter()
+        try:
+            payload = execute_spec(spec)
+        except Exception:
+            text = traceback.format_exc()
+            return CaseOutcome(
+                outcome="crash", signature=crash_signature(text),
+                stderr_tail=_stderr_tail(text),
+                wall_time_s=time.perf_counter() - started)
+        return CaseOutcome(
+            outcome=payload.get("outcome", "crash"), payload=payload,
+            returncode=0, wall_time_s=time.perf_counter() - started)

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional
 
 from .analysis import AnalysisResult
 
-__all__ = ["render_markdown", "render_json", "write_report"]
+__all__ = ["render_campaign_markdown", "render_markdown", "render_json",
+           "write_report"]
 
 
 def render_markdown(result: AnalysisResult, title: str = "Analysis report") -> str:
@@ -128,6 +129,46 @@ def render_json(result: AnalysisResult) -> str:
         },
     }
     return json.dumps(payload, indent=2)
+
+
+def render_campaign_markdown(report, title: str = "Fuzz campaign") -> str:
+    """Human-readable summary of a :class:`repro.fuzz.CampaignReport`."""
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(f"* campaign seed: `{report.config.campaign_seed}`")
+    lines.append(f"* cases: {len(report.results)} run / "
+                 f"{report.cases_planned} planned")
+    lines.append(f"* wall time: {report.wall_time_s:.1f} s")
+    if report.stopped_reason:
+        lines.append(f"* stopped early: **{report.stopped_reason}**")
+    lines.append("")
+    lines.append("| outcome | count |")
+    lines.append("|---|---|")
+    for outcome, count in report.outcome_counts.items():
+        lines.append(f"| {outcome} | {count} |")
+    lines.append("")
+    verdict = ("**PASS** — no unsound or crash outcomes." if report.ok
+               else "**FAIL** — soundness violations or analyzer crashes.")
+    lines.append(verdict)
+    triage = report.triage
+    if triage:
+        lines.append("")
+        lines.append(f"## Failure signatures ({len(triage)})")
+        lines.append("")
+        for sig, case_ids in triage.items():
+            lines.append(f"* `{sig}` — {len(case_ids)} case(s): "
+                         + ", ".join(f"`{c}`" for c in case_ids[:5])
+                         + (" …" if len(case_ids) > 5 else ""))
+    if report.reductions:
+        lines.append("")
+        lines.append("## Reductions")
+        lines.append("")
+        lines.append("| case | size | reduced | passes |")
+        lines.append("|---|---|---|---|")
+        for red in report.reductions:
+            lines.append(f"| `{red.original.case_id}` "
+                         f"| {red.original_size} | {red.reduced_size} "
+                         f"| {len(red.accepted_passes)} |")
+    return "\n".join(lines) + "\n"
 
 
 def write_report(result: AnalysisResult, path: str,

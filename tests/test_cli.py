@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.errors import ExitCode
 
 
 SRC_CLEAN = """
@@ -129,3 +130,149 @@ class TestSliceCommand:
         rc = main(["slice", clean_file, "--input-range", "sensor=0:100"])
         out = capsys.readouterr().out
         assert "nothing to slice" in out
+
+
+class TestExitCodeContract:
+    """Internal errors must exit 3 with a structured one-line diagnostic
+    on stderr — exception class, message and phase — never silently and
+    never with a raw UnicodeDecodeError/uncaught traceback."""
+
+    def test_missing_input_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.c")
+        rc = main(["analyze", missing])
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "astree-repro: internal-error:" in err
+        assert "phase=io" in err
+        assert "FileNotFoundError" in err
+        assert "nope.c" in err  # the diagnostic names the path
+
+    def test_directory_as_input(self, tmp_path, capsys):
+        rc = main(["analyze", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "astree-repro: internal-error:" in err
+        assert str(tmp_path) in err
+
+    def test_parse_error_structured_line(self, tmp_path, capsys):
+        p = tmp_path / "bad.c"
+        p.write_text("int main(void) { return ; }")
+        rc = main(["analyze", str(p)])
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "phase=frontend" in err
+        assert "class=" in err
+
+    def test_bom_file_exits_3_not_unicode_error(self, tmp_path, capsys):
+        p = tmp_path / "bom.c"
+        p.write_bytes(b"\xef\xbb\xbfint main(void) { return 0; }")
+        rc = main(["analyze", str(p)])
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "PreprocessorError" in err
+        assert "byte-order mark" in err
+
+    def test_non_utf8_file_exits_3_not_unicode_error(self, tmp_path, capsys):
+        p = tmp_path / "bin.c"
+        p.write_bytes(b"int x;\n\xff\xfe\n")
+        rc = main(["analyze", str(p)])
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "UnicodeDecodeError" not in err
+        assert "bin.c" in err
+
+    def test_missing_checkpoint_resume(self, clean_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "never-written.ckpt")
+        rc = main(["analyze", clean_file, "--resume", ckpt,
+                   "--input-range", "sensor=0:100"])
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "phase=checkpoint" in err
+        assert "never-written.ckpt" in err
+
+    def test_corrupt_checkpoint_resume(self, clean_file, tmp_path, capsys):
+        ckpt = tmp_path / "corrupt.ckpt"
+        ckpt.write_bytes(b"\x00\x01not a checkpoint")
+        rc = main(["analyze", clean_file, "--resume", str(ckpt),
+                   "--input-range", "sensor=0:100"])
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "phase=checkpoint" in err
+        assert "corrupt.ckpt" in err
+
+    def test_truncated_checkpoint_resume(self, tmp_path, capsys):
+        # Write a real checkpoint (loops produce fixpoint-iteration
+        # boundaries), then truncate it mid-stream.
+        p = tmp_path / "loop.c"
+        p.write_text("""
+        volatile int v; int c;
+        int main(void) {
+            c = 0;
+            while (1) {
+                if (v) { c = c + 1; }
+                if (c > 100) { c = 0; }
+                __ASTREE_wait_for_clock();
+            }
+            return 0;
+        }
+        """)
+        ckpt = tmp_path / "trunc.ckpt"
+        rc = main(["analyze", str(p), "--checkpoint", str(ckpt),
+                   "--input-range", "v=0:1"])
+        assert rc == 0 and ckpt.exists()
+        capsys.readouterr()
+        data = ckpt.read_bytes()
+        ckpt.write_bytes(data[:max(1, len(data) // 2)])
+        rc = main(["analyze", str(p), "--resume", str(ckpt),
+                   "--input-range", "v=0:1"])
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "phase=checkpoint" in err
+        assert "trunc.ckpt" in err
+
+    def test_no_silent_swallowing(self, capsys):
+        """Unexpected exceptions surface class AND message on stderr
+        through the single internal-error funnel."""
+        from repro.cli import _internal_error
+
+        rc = _internal_error(ZeroDivisionError("sentinel-detail-42"))
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "class=ZeroDivisionError" in err
+        assert "sentinel-detail-42" in err
+        assert "phase=unexpected" in err
+
+
+class TestFuzzCommand:
+    def test_small_clean_campaign(self, capsys):
+        rc = main(["fuzz", "--seed", "3", "--cases", "2", "--in-process",
+                   "--quiet", "--no-reduce"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+    def test_campaign_json_report(self, tmp_path, capsys):
+        report_path = tmp_path / "campaign.json"
+        rc = main(["fuzz", "--seed", "3", "--cases", "2", "--in-process",
+                   "--quiet", "--no-reduce", "--json",
+                   "--json-out", str(report_path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["ok"] is True
+        assert payload["cases_run"] == 2
+        on_disk = json.loads(report_path.read_text())
+        assert on_disk["outcome_counts"] == payload["outcome_counts"]
+
+    def test_replay_missing_case_exits_3(self, tmp_path, capsys):
+        rc = main(["fuzz", "--replay", str(tmp_path / "no-such-case.json")])
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "no-such-case.json" in err
+
+    def test_replay_corrupt_case_exits_3(self, tmp_path, capsys):
+        p = tmp_path / "bad-case.json"
+        p.write_text("{ not json ]")
+        rc = main(["fuzz", "--replay", str(p)])
+        err = capsys.readouterr().err
+        assert rc == int(ExitCode.INTERNAL_ERROR)
+        assert "bad-case.json" in err

@@ -10,6 +10,9 @@ import pytest
 from repro import AnalyzerConfig, analyze, analyze_program
 from repro.concrete import ConcreteInterpreter, RandomInputs
 from repro.frontend import compile_source
+from repro.fuzz.oracle import (
+    containment_violations, run_oracle, uncovered_error_kinds,
+)
 from repro.numeric import FloatInterval, IntInterval
 
 
@@ -171,32 +174,12 @@ class TestDifferentialEndToEnd:
     """Concrete executions vs abstract invariants on whole programs."""
 
     def _check_containment(self, prog, result, interp):
-        """Every traced concrete value lies in the analyzer's invariant."""
+        """Every traced concrete value lies in the analyzer's invariant
+        (the check itself lives in repro.fuzz.oracle, shared with the
+        fuzzing campaign engine)."""
         assert result.loop_invariants, "main loop invariant required"
-        inv = max(result.loop_invariants.values(),
-                  key=lambda s: 0 if s.is_bottom else len(s.env.cells))
-        name_to_cell = {}
-        for v in prog.globals:
-            if result.ctx.table.has_var(v.uid):
-                layout = result.ctx.table.layout(v.uid)
-                from repro.memory.cells import AtomicLayout
-
-                if isinstance(layout, AtomicLayout):
-                    name_to_cell[v.name] = layout.cell
-        violations = []
-        for entry in interp.trace:
-            for name, value in entry.values.items():
-                cell = name_to_cell.get(name)
-                if cell is None or cell.volatile:
-                    continue
-                av = inv.env.get(cell.cid)
-                if av is None:
-                    continue
-                itv = av.itv
-                ok = (itv.contains(value) if isinstance(itv, IntInterval)
-                      else itv.contains(float(value)))
-                if not ok:
-                    violations.append((entry.tick, name, value, itv))
+        checked, violations = containment_violations(result, interp)
+        assert checked > 0, "containment check must cover some values"
         assert not violations, violations[:5]
 
     def test_quickstart_controller(self):
@@ -257,11 +240,28 @@ class TestDifferentialEndToEnd:
         ranges = {"v": (0, 10)}
         prog = compile_source(src, "bug.c")
         result = analyze_program(prog, AnalyzerConfig(input_ranges=ranges))
-        alarm_kinds = {a.kind for a in result.alarms}
         hit = set()
         for seed in range(30):
             interp = ConcreteInterpreter(prog, RandomInputs(ranges, seed))
             interp.run()
             hit |= {e.kind for e in interp.errors}
+            assert uncovered_error_kinds(result, interp.errors) == []
         assert hit, "some seed must trigger the planted errors"
-        assert hit <= alarm_kinds, (hit, alarm_kinds)
+
+    def test_run_oracle_end_to_end(self):
+        """The campaign oracle agrees with the hand-rolled checks: a
+        clean family program is judged sound over seeded streams."""
+        from repro.synth import FamilySpec, generate_program
+
+        gp = generate_program(FamilySpec(target_kloc=0.1, seed=11))
+        prog = compile_source(gp.source, "fam.c")
+        result = analyze_program(
+            prog, gp.analyzer_config(collect_invariants=True))
+        report = run_oracle(prog, result, gp.input_ranges, case_seed=123,
+                            streams=3, max_ticks=40)
+        assert report.sound, report.to_json()
+        assert report.values_checked > 0
+        # The verdict is a pure function of the case seed.
+        again = run_oracle(prog, result, gp.input_ranges, case_seed=123,
+                           streams=3, max_ticks=40)
+        assert report.to_json() == again.to_json()

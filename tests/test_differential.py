@@ -13,6 +13,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import AnalyzerConfig, analyze
+from repro.fuzz.oracle import final_interval, main_loop_invariant
 from repro.numeric import IntInterval
 
 INT_MIN, INT_MAX = -(2**31), 2**31 - 1
@@ -53,13 +54,6 @@ def build_program(exprs, n_inputs):
     outs = "\n".join(f"int out{k};" for k in range(len(exprs)))
     return (f"{decls}\n{outs}\n"
             "int main(void) {\n" + "\n".join(body) + "\n    return 0;\n}\n")
-
-
-def final_interval(result, name) -> IntInterval:
-    var = result.ctx.prog.global_by_name(name)
-    cell = result.ctx.table.scalar_cell(var.uid)
-    v = result.final_state.env.get(cell.cid)
-    return v.itv
 
 
 class TestDifferentialSoundness:
@@ -151,8 +145,7 @@ class TestDifferentialSoundness:
                              collect_invariants=True)
         result = analyze(source, "f.c", config=cfg)
         assert result.alarm_count == 0
-        inv = max(result.loop_invariants.values(),
-                  key=lambda s: 0 if s.is_bottom else len(s.env.cells))
+        inv = main_loop_invariant(result)
         var = result.ctx.prog.global_by_name("x")
         cell = result.ctx.table.scalar_cell(var.uid)
         bound = inv.env.get(cell.cid).itv

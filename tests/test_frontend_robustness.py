@@ -12,8 +12,11 @@ import string
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import ReproError
-from repro.frontend import compile_source, parse, preprocess
+from repro.errors import LexerError, PreprocessorError, ReproError
+from repro.frontend import (
+    check_source_text, compile_source, decode_source, parse, preprocess,
+    read_source_file,
+)
 
 VALID = """
 #define N 4
@@ -147,3 +150,70 @@ class TestSpecificMalformed:
         # unused globals are deleted; g0 remains
         assert prog.global_by_name("g0") is not None
         assert prog.global_by_name("g1999") is None
+
+
+VALID_BYTES = VALID.encode("utf-8")
+
+
+class TestEncodingRobustness:
+    """Byte-level hazards: a BOM, CRLF line endings or non-UTF-8 bytes
+    must surface as located PreprocessorError/LexerError (CLI exit 3),
+    never as a raw UnicodeDecodeError."""
+
+    def test_utf8_bom_rejected(self):
+        with pytest.raises(PreprocessorError) as ei:
+            decode_source(b"\xef\xbb\xbf" + VALID_BYTES, "bom.c")
+        assert "byte-order mark" in str(ei.value)
+        assert "bom.c:1:1" in str(ei.value)
+
+    def test_bom_in_text_rejected(self):
+        with pytest.raises(PreprocessorError):
+            check_source_text("\ufeff" + VALID, "bom.c")
+
+    def test_crlf_rejected_with_location(self):
+        crlf = VALID.replace("\n", "\r\n")
+        with pytest.raises(PreprocessorError) as ei:
+            decode_source(crlf.encode("utf-8"), "dos.c")
+        assert "CRLF" in str(ei.value) or "carriage return" in str(ei.value)
+        assert "dos.c:" in str(ei.value)
+
+    def test_lone_cr_rejected(self):
+        with pytest.raises(PreprocessorError):
+            check_source_text("int x;\rint main(void) { return 0; }")
+
+    def test_non_utf8_bytes_rejected(self):
+        with pytest.raises((PreprocessorError, LexerError)) as ei:
+            decode_source(b"int x;\n\xff\xfe int y;\n", "bin.c")
+        assert "bin.c" in str(ei.value)
+
+    def test_nul_byte_rejected(self):
+        with pytest.raises((PreprocessorError, LexerError)):
+            decode_source(b"int x;\x00int y;\n", "nul.c")
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.binary(max_size=120))
+    def test_random_bytes_never_unicode_error(self, data):
+        try:
+            text = decode_source(data, "fuzz.bin")
+        except ReproError:
+            return  # classified rejection: fine
+        # Decoded clean: the full pipeline must also stay classified.
+        expect_clean_failure(text)
+
+    def test_read_source_file_bom(self, tmp_path):
+        p = tmp_path / "bom.c"
+        p.write_bytes(b"\xef\xbb\xbf" + VALID_BYTES)
+        with pytest.raises(PreprocessorError):
+            read_source_file(str(p))
+
+    def test_read_source_file_clean(self, tmp_path):
+        p = tmp_path / "ok.c"
+        p.write_bytes(VALID_BYTES)
+        assert read_source_file(str(p)) == VALID
+
+    def test_compile_rejects_embedded_cr(self):
+        # The preprocessor checks text even when handed a raw string
+        # (callers that bypass read_source_file are still protected).
+        with pytest.raises(PreprocessorError):
+            compile_source("int x;\r\nint main(void) { return 0; }",
+                           "dos.c")
