@@ -91,6 +91,13 @@ class AnalysisResult:
     stmts_skipped: int = 0
     lattice_memo_hits: int = 0
     lattice_memo_misses: int = 0
+    # Cross-run fixpoint cache feedback (repro.serve.cache): statements
+    # seeded with donor (pre, post) journals, donor records spliced, and
+    # the footprint-weighted span of those splices (a subset of
+    # stmts_skipped).  All zero for standalone runs.
+    cross_run_seeded: int = 0
+    cross_run_hits: int = 0
+    cross_run_spliced: int = 0
     # Supervisor feedback (repro.supervisor): every fault or budget trip
     # the run absorbed, whether degradation rungs were applied, which
     # ones, and whether the run was restored from a checkpoint.
@@ -201,7 +208,8 @@ class AnalysisResult:
 def analyze(source, filename: str = "<input>",
             config: Optional[AnalyzerConfig] = None,
             entry: str = "main",
-            jobs: Optional[int] = None) -> AnalysisResult:
+            jobs: Optional[int] = None,
+            cross_run=None) -> AnalysisResult:
     """Analyze C source text (a string) or a list of (name, text) units."""
     if config is None:
         config = AnalyzerConfig()
@@ -212,7 +220,8 @@ def analyze(source, filename: str = "<input>",
         prog = link_sources(list(source), entry=entry)
     parse_seconds = time.perf_counter() - parse_start
     return analyze_program(prog, config, jobs=jobs,
-                           parse_seconds=parse_seconds)
+                           parse_seconds=parse_seconds,
+                           cross_run=cross_run)
 
 
 def _peak_rss_kib() -> int:
@@ -255,11 +264,18 @@ def _needs_supervisor(config: AnalyzerConfig) -> bool:
 
 def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
                     jobs: Optional[int] = None,
-                    parse_seconds: float = 0.0) -> AnalysisResult:
+                    parse_seconds: float = 0.0,
+                    cross_run=None) -> AnalysisResult:
     """Analyze an already-lowered IR program.
 
     ``jobs`` overrides ``config.jobs``; any value > 1 attaches the
     parallel engine (bit-identical results, see repro.parallel).
+
+    ``cross_run`` optionally attaches a
+    :class:`repro.serve.cache.CrossRunCache`: donor (pre, post) journals
+    of a previous run seed the incremental engine, and this run's
+    journal is collected for harvesting by the caller.  Requires the
+    incremental engine; ignored under ``--no-incremental`` or tracing.
 
     When any supervisor feature is enabled (resource budget, checkpoint
     or resume path), the run is wrapped in a :class:`Supervisor`; the
@@ -294,6 +310,9 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
     alarms = AlarmCollector()
     it = Iterator(ctx, alarms)
     it.supervisor = sup
+    if cross_run is not None and config.incremental and not config.trace:
+        cross_run.attach(ctx)
+        it.cross_run = cross_run
     engine = None
     if jobs > 1:
         from .parallel import ParallelEngine
@@ -353,6 +372,9 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
         stmts_skipped=it.stmts_skipped,
         lattice_memo_hits=ctx.lattice_memo.hits,
         lattice_memo_misses=ctx.lattice_memo.misses,
+        cross_run_seeded=0 if cross_run is None else cross_run.seeded,
+        cross_run_hits=it.cross_run_hits,
+        cross_run_spliced=it.cross_run_spliced,
         incidents=incidents.incidents,
         degraded=False if sup is None else sup.degraded,
         degradation_steps=[] if sup is None else list(sup.ladder.applied),

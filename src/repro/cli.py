@@ -100,6 +100,10 @@ def _print_stats(result) -> None:
     if result.incremental:
         print(f"  lattice memo: hits={result.lattice_memo_hits} "
               f"misses={result.lattice_memo_misses}")
+    if result.cross_run_seeded or result.cross_run_hits:
+        print(f"  cross-run cache: seeded={result.cross_run_seeded} "
+              f"hits={result.cross_run_hits} "
+              f"spliced={result.cross_run_spliced}")
     if result.jobs > 1:
         print(f"  jobs: {result.jobs} "
               f"(regions={result.parallel_regions}, "
@@ -154,6 +158,9 @@ def cmd_analyze(args) -> int:
             payload["stmts_skipped"] = result.stmts_skipped
             payload["lattice_memo_hits"] = result.lattice_memo_hits
             payload["lattice_memo_misses"] = result.lattice_memo_misses
+            payload["cross_run_seeded"] = result.cross_run_seeded
+            payload["cross_run_hits"] = result.cross_run_hits
+            payload["cross_run_spliced"] = result.cross_run_spliced
         print(json.dumps(payload, indent=2))
     else:
         for a in result.alarms:
@@ -253,6 +260,115 @@ def cmd_fuzz(args) -> int:
     else:
         print(render_campaign_markdown(report), end="")
     return 0 if report.ok else 1
+
+
+def cmd_serve(args) -> int:
+    from .serve.server import AnalysisServer, ServeConfig
+
+    sc = ServeConfig(
+        socket_path=args.socket,
+        cache_dir=args.cache_dir,
+        max_queue=args.max_queue,
+        job_deadline_s=args.job_deadline,
+        job_rss_limit_kib=(int(args.job_max_rss * 1024)
+                           if args.job_max_rss else None),
+    )
+    server = AnalysisServer(sc)
+    print(f"astree-repro serve: listening on {args.socket}"
+          + (f", cache at {args.cache_dir}" if args.cache_dir else
+             " (in-memory caches)"), flush=True)
+    server.serve_forever()
+    print("astree-repro serve: stopped", flush=True)
+    return 0
+
+
+def cmd_client(args) -> int:
+    from .report import render_serve_stats
+    from .serve.client import ServeClient
+
+    with ServeClient(args.socket, timeout=args.timeout) as client:
+        if args.op == "ping":
+            print(json.dumps(client.ping(), indent=2))
+            return 0
+        if args.op == "stats":
+            reply = client.stats()
+            if not reply.get("ok"):
+                print(f"error: {reply.get('error')}", file=sys.stderr)
+                return int(ExitCode.INTERNAL_ERROR)
+            if args.json:
+                print(json.dumps(reply["stats"], indent=2, sort_keys=True))
+            else:
+                print(render_serve_stats(reply["stats"]), end="")
+            return 0
+        if args.op == "shutdown":
+            print(json.dumps(client.shutdown(), indent=2))
+            return 0
+
+        if not args.files:
+            print("error: submit needs at least one source file",
+                  file=sys.stderr)
+            return int(ExitCode.INTERNAL_ERROR)
+        sources = [(path, read_source_file(path)) for path in args.files]
+        overrides = {}
+        ranges = _parse_ranges(args.input_range)
+        if ranges:
+            overrides["input_ranges"] = {k: list(v)
+                                         for k, v in ranges.items()}
+        if args.max_clock is not None:
+            overrides["max_clock"] = args.max_clock
+
+        if args.edit_loop:
+            if len(sources) != 1:
+                print("error: --edit-loop takes exactly one source file",
+                      file=sys.stderr)
+                return int(ExitCode.INTERNAL_ERROR)
+            name, text = sources[0]
+            summary = client.edit_loop(name, text, args.edit_loop,
+                                       entry=args.entry, config=overrides)
+            if args.json:
+                print(json.dumps(summary, indent=2))
+            else:
+                for row in summary["rounds"]:
+                    tag = "exact-hit" if row["cached"] else "run"
+                    ident = ("" if "bit_identical" not in row else
+                             " bit-identical" if row["bit_identical"]
+                             else " MISMATCH")
+                    print(f"round {row['round']:>3}: {tag:<9} "
+                          f"{row['server_wall_s']*1000:9.2f} ms  "
+                          f"cross-run hits {row['cross_run_hits']:>4}"
+                          f"{ident}")
+                print(f"cold {summary['cold_wall_s']*1000:.1f} ms, "
+                      f"warm avg {summary['warm_avg_wall_s']*1000:.1f} ms, "
+                      f"{summary['mismatches']} mismatch(es)")
+            return 0 if summary["mismatches"] == 0 else 1
+
+        reply = client.submit(sources, entry=args.entry, config=overrides,
+                              bypass_cache=args.bypass_cache)
+        if not reply.get("ok"):
+            print(f"error: {reply.get('error')}", file=sys.stderr)
+            return int(ExitCode.INTERNAL_ERROR)
+        result = reply["result"]
+        if args.json:
+            out = dict(result)
+            out["cached"] = reply["cached"]
+            out["digest"] = reply["digest"]
+            out["server_wall_s"] = reply["wall_s"]
+            out["queue_depth"] = reply.get("queue_depth", 0)
+            print(json.dumps(out, indent=2))
+        else:
+            for a in result["alarms"]:
+                print(f"{a['file']}:{a['line']}:{a['col']}: "
+                      f"[{a['kind']}] {a['message']}")
+            disposition = "cached" if reply["cached"] else "analyzed"
+            print(f"-- {result['alarm_count']} alarm(s), {disposition} in "
+                  f"{reply['wall_s']:.3f}s (digest {reply['digest'][:12]})")
+            if args.stats:
+                print(f"   cross-run: seeded={result['cross_run_seeded']} "
+                      f"hits={result['cross_run_hits']} "
+                      f"spliced={result['cross_run_spliced']}")
+                print(f"   queue depth at submit: "
+                      f"{reply.get('queue_depth', 0)}")
+        return int(result["exit_code"])
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -381,6 +497,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     pf.add_argument("--quiet", action="store_true",
                     help="suppress per-case progress lines")
     pf.set_defaults(func=cmd_fuzz)
+
+    pv = sub.add_parser("serve",
+                        help="run the analysis daemon on a Unix socket")
+    pv.add_argument("--socket", default="astree-serve.sock", metavar="PATH",
+                    help="Unix socket path to listen on")
+    pv.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="persistent cache directory (results + fixpoint "
+                         "journals); omit for in-memory caches only")
+    pv.add_argument("--max-queue", type=int, default=64, metavar="N",
+                    help="bound on pending jobs before submits are refused")
+    pv.add_argument("--job-deadline", type=float, default=300.0,
+                    metavar="SECONDS",
+                    help="default per-job wall budget (supervisor)")
+    pv.add_argument("--job-max-rss", type=float, default=None, metavar="MIB",
+                    help="default per-job RSS budget (supervisor)")
+    pv.set_defaults(func=cmd_serve)
+
+    pc = sub.add_parser("client",
+                        help="submit analyses to a running daemon")
+    pc.add_argument("files", nargs="*")
+    pc.add_argument("--socket", default="astree-serve.sock", metavar="PATH")
+    pc.add_argument("--entry", default="main")
+    pc.add_argument("--input-range", action="append", metavar="NAME=LO:HI")
+    pc.add_argument("--max-clock", type=int, default=None)
+    pc.add_argument("--op", choices=["submit", "stats", "shutdown", "ping"],
+                    default="submit")
+    pc.add_argument("--bypass-cache", action="store_true",
+                    help="force a cold run (reference for differential "
+                         "checks)")
+    pc.add_argument("--edit-loop", type=int, default=None, metavar="N",
+                    help="benchmark driver: submit the source plus N "
+                         "perturbed near-duplicates, checking each warm "
+                         "result against a bypass-cache reference")
+    pc.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS")
+    pc.add_argument("--stats", action="store_true",
+                    help="print per-request cache/queue feedback")
+    pc.add_argument("--json", action="store_true")
+    pc.set_defaults(func=cmd_client)
 
     args = parser.parse_args(argv)
     try:

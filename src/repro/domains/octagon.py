@@ -39,25 +39,52 @@ _INF = math.inf
 # machinery, see repro.iterator.incremental): maps a raw matrix to its
 # strongly-closed octagon.  Closure is a deterministic function of the
 # matrix, so two ==-equal raw octagons have bit-identical closures and
-# may share one result object.  Bounded: cleared wholesale at capacity
-# (it is a cache — dropping it costs time, never correctness).  Off by
-# default; analyze_program enables it for incremental runs.
+# may share one result object.  Bounded with FIFO eviction: at capacity
+# only the oldest insertions are dropped (a batch at a time), so a full
+# memo sheds cold entries instead of cold-starting the whole hot set
+# (it is a cache — dropping entries costs time, never correctness).
+# Off by default; analyze_program enables it for incremental runs.
 _CLOSURE_MEMO: Dict[bytes, "Octagon"] = {}
 _CLOSURE_MEMO_MAX = 0
 _CLOSURE_HITS = 0
+_CLOSURE_EVICTIONS = 0
 
 
 def configure_closure_memo(max_size: int) -> None:
-    """Set the closure memo capacity; 0 (or negative) disables it."""
-    global _CLOSURE_MEMO_MAX, _CLOSURE_HITS
+    """Set the closure memo capacity; 0 (or negative) disables it.
+
+    Reconfiguring to the *same* capacity keeps the memo contents (and
+    the hit/eviction counters): a long-lived process analyzing many
+    programs — the ``serve`` daemon — stays warm across requests, and
+    closure is a pure function of the matrix alone, so entries are
+    valid across programs.  Changing the capacity evicts down (or
+    clears, when disabling) and resets the counters."""
+    global _CLOSURE_MEMO_MAX, _CLOSURE_HITS, _CLOSURE_EVICTIONS
+    if max_size == _CLOSURE_MEMO_MAX and max_size > 0:
+        return
     _CLOSURE_MEMO_MAX = max_size
     _CLOSURE_HITS = 0
-    _CLOSURE_MEMO.clear()
+    _CLOSURE_EVICTIONS = 0
+    if max_size <= 0:
+        _CLOSURE_MEMO.clear()
+    else:
+        while len(_CLOSURE_MEMO) > max_size:
+            del _CLOSURE_MEMO[next(iter(_CLOSURE_MEMO))]
 
 
-def closure_memo_stats() -> Tuple[int, int]:
-    """(hits, current size)."""
-    return _CLOSURE_HITS, len(_CLOSURE_MEMO)
+def _evict_closure_memo() -> None:
+    """Drop the oldest eighth of the memo (dicts iterate in insertion
+    order, so ``next(iter(...))`` is always the oldest surviving key)."""
+    global _CLOSURE_EVICTIONS
+    batch = max(1, _CLOSURE_MEMO_MAX // 8)
+    for _ in range(min(batch, len(_CLOSURE_MEMO))):
+        del _CLOSURE_MEMO[next(iter(_CLOSURE_MEMO))]
+        _CLOSURE_EVICTIONS += 1
+
+
+def closure_memo_stats() -> Tuple[int, int, int]:
+    """(hits, current size, evictions)."""
+    return _CLOSURE_HITS, len(_CLOSURE_MEMO), _CLOSURE_EVICTIONS
 
 
 def _nudge_up(a: np.ndarray) -> np.ndarray:
@@ -194,7 +221,7 @@ class Octagon:
         self._closed_cache = out
         if key is not None:
             if len(_CLOSURE_MEMO) >= _CLOSURE_MEMO_MAX:
-                _CLOSURE_MEMO.clear()
+                _evict_closure_memo()
             _CLOSURE_MEMO[key] = out
         return out
 

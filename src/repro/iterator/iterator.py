@@ -119,6 +119,11 @@ class Iterator:
         # config_generation moves.
         self.stmts_executed: int = 0
         self.stmts_skipped: int = 0
+        # Cross-run fixpoint cache (repro.serve.cache.CrossRunCache),
+        # attached by the serving layer; None for standalone runs.
+        self.cross_run = None
+        self.cross_run_hits: int = 0
+        self.cross_run_spliced: int = 0
         self._incr_active: bool = False
         self._footprints = None
         self._footprints_generation: int = -1

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 from .analysis import AnalysisResult
 
 __all__ = ["render_campaign_markdown", "render_markdown", "render_json",
-           "write_report"]
+           "render_serve_stats", "write_report"]
 
 
 def render_markdown(result: AnalysisResult, title: str = "Analysis report") -> str:
@@ -106,6 +106,9 @@ def render_json(result: AnalysisResult) -> str:
             "stmts_skipped": result.stmts_skipped,
             "lattice_memo_hits": result.lattice_memo_hits,
             "lattice_memo_misses": result.lattice_memo_misses,
+            "cross_run_seeded": result.cross_run_seeded,
+            "cross_run_hits": result.cross_run_hits,
+            "cross_run_spliced": result.cross_run_spliced,
         },
         "packing": {
             "octagon_packs": result.octagon_pack_count,
@@ -129,6 +132,48 @@ def render_json(result: AnalysisResult) -> str:
         },
     }
     return json.dumps(payload, indent=2)
+
+
+def render_serve_stats(stats: Dict, title: str = "Serve stats") -> str:
+    """Human-readable rendering of the daemon's ``stats`` protocol
+    response (``astree-repro client --op stats``)."""
+    runs = stats.get("runs", {})
+    queue = stats.get("queue", {})
+    rc = stats.get("result_cache", {})
+    js = stats.get("journal_store", {})
+    fc = stats.get("frontend_cache", {})
+    cm = stats.get("closure_memo", {})
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(f"* daemon pid {stats.get('pid')}, up "
+                 f"{stats.get('uptime_s', 0.0):.1f} s, "
+                 f"{stats.get('requests', 0)} request(s) served")
+    lines.append(f"* queue: depth {queue.get('depth', 0)}, "
+                 f"submitted {queue.get('submitted', 0)}, "
+                 f"completed {queue.get('completed', 0)}, "
+                 f"failed {queue.get('failed', 0)}, "
+                 f"rejected {queue.get('rejected', 0)}")
+    lines.append("")
+    lines.append("| layer | hits | misses | evictions | entries |")
+    lines.append("|---|---|---|---|---|")
+    lines.append(f"| exact results | {rc.get('hits', 0)} "
+                 f"| {rc.get('misses', 0)} | {rc.get('evictions', 0)} "
+                 f"| {rc.get('disk_entries', rc.get('memory_entries', 0))} |")
+    lines.append(f"| fixpoint journals | "
+                 f"{js.get('memory_hits', 0) + js.get('disk_hits', 0)} "
+                 f"| {js.get('misses', 0)} | {js.get('evictions', 0)} "
+                 f"| {js.get('disk_entries', js.get('memory_entries', 0))} |")
+    lines.append(f"| frontend | {fc.get('hits', 0)} | {fc.get('misses', 0)} "
+                 f"| - | {fc.get('entries', 0)} |")
+    lines.append(f"| closure memo | {cm.get('hits', 0)} | - "
+                 f"| {cm.get('evictions', 0)} | {cm.get('entries', 0)} |")
+    lines.append("")
+    lines.append(f"* runs: {runs.get('cold', 0)} cold "
+                 f"(avg {runs.get('cold_avg_wall_s', 0.0):.3f} s), "
+                 f"{runs.get('warm', 0)} warm "
+                 f"(avg {runs.get('warm_avg_wall_s', 0.0):.3f} s), "
+                 f"{runs.get('degraded', 0)} degraded")
+    lines.append(f"* journal harvests: {js.get('harvests', 0)}")
+    return "\n".join(lines) + "\n"
 
 
 def render_campaign_markdown(report, title: str = "Fuzz campaign") -> str:

@@ -1,0 +1,215 @@
+"""The cross-run fixpoint cache and the warm frontend cache.
+
+:class:`CrossRunCache` extends the intra-run incremental engine
+(repro.iterator.incremental) across runs.  Intra-run, every statement
+memoizes the (pre, post) states of its last execution and is spliced
+whenever its incoming footprint slice agrees with the recorded pre.
+Cross-run, one run additionally *journals* the deduplicated sequence of
+(pre, post) pairs each statement produced — one entry per distinct
+widening iterate — and a later run of a near-duplicate program replays
+that journal as donor records: at each occurrence of a statement whose
+record key matches (content, bindings and footprint identical — see
+repro.serve.fingerprints.stmt_record_key), the donor pairs around the
+trajectory cursor are checked with the same agreement test the
+intra-run engine uses, and on agreement the recorded post is spliced.
+
+Bit-identity argument: a donor pair is a true (pre, post) pair of a
+statement with an equal record key under an equal compat fingerprint,
+i.e. of the *same transfer function*.  The agreement check accepts only
+when the incoming state coincides with the recorded pre on the
+statement's entire footprint slice, and the splice patches exactly the
+footprint's write set — the same two steps whose exactness the
+intra-run engine's soundness argument establishes.  Which run the pair
+was recorded in is therefore irrelevant: a warm run computes
+bit-identical states, alarms and iteration counts to a cold one, it
+just re-executes less.
+
+Journals are never harvested from degraded runs (the ladder mutates the
+effective configuration mid-run, so recorded pairs would mix transfer
+semantics; the compat fingerprint of the degraded configuration also
+differs from the requested one, so a degraded journal could never be
+*served* to a full-precision request either way).
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from .fingerprints import (compat_fingerprint, function_hashes,
+                           stable_ordinals, stmt_content_hash,
+                           stmt_record_key)
+
+__all__ = ["CrossRunCache", "FrontendCache"]
+
+
+class CrossRunCache:
+    """One run's view of the cross-run fixpoint cache: donor journal in
+    (from the previous run with the same compat fingerprint), fresh
+    journal out.  Handed to :func:`repro.analysis.analyze_program` and
+    consulted by the incremental sequence executors."""
+
+    def __init__(self, journal_store=None, donor_bytes: Optional[bytes] = None,
+                 harvest: bool = True, max_pairs_per_key: int = 128,
+                 max_total_pairs: int = 250_000):
+        self.journal_store = journal_store
+        self._donor_bytes = donor_bytes
+        # key -> list of slim pairs (repro.iterator.incremental.slim_pair).
+        self.donor: Dict[str, List[Tuple]] = {}
+        self.journal: Optional[Dict[str, List[Tuple]]] = (
+            {} if harvest else None)
+        # key -> (pre, post) identities of the last journaled occurrence,
+        # for consecutive-duplicate suppression without re-slimming.
+        self._last: Dict[str, Tuple[object, object]] = {}
+        self.max_pairs_per_key = max_pairs_per_key
+        self.max_total_pairs = max_total_pairs
+        # Identity of the run this cache is attached to.
+        self.ctx = None
+        self.compat: Optional[str] = None
+        self._gen0 = 0
+        self.ordinals: Dict[int, int] = {}
+        self.fn_hashes: Dict[str, str] = {}
+        self._content_memo: Dict[int, str] = {}
+        # Counters (surfaced via AnalysisResult and the daemon stats).
+        self.seeded = 0          # statements that received donor pairs
+        self.donor_pair_count = 0
+        self.total_pairs = 0     # journal pairs recorded
+        self.pairs_dropped = 0   # journal appends refused by the caps
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, ctx) -> None:
+        """Bind to a built AnalysisContext: compute the stable keys and
+        load the donor journal for this compat fingerprint.  Journals
+        hold slim footprint slices of context-free values, so unpickling
+        needs no live context."""
+        self.ctx = ctx
+        self._gen0 = ctx.config_generation
+        self.compat = compat_fingerprint(ctx)
+        self.ordinals = stable_ordinals(ctx.prog)
+        self.fn_hashes = function_hashes(ctx.prog)
+        self._content_memo = {}
+        raw = self._donor_bytes
+        if raw is None and self.journal_store is not None:
+            raw = self.journal_store.get(self.compat)
+        if raw:
+            try:
+                donor = pickle.loads(raw)
+            except Exception:
+                donor = {}  # a corrupt journal is a cold start, not an error
+            if isinstance(donor, dict):
+                self.donor = donor
+                self.donor_pair_count = sum(
+                    len(v) for v in donor.values())
+
+    def active_for(self, it) -> bool:
+        """True while the attached run's effective configuration is the
+        one the keys were computed against (the degradation ladder bumps
+        config_generation, after which donor pairs are stale and the
+        journal is abandoned)."""
+        return (self.ctx is it.ctx
+                and it.ctx.config_generation == self._gen0)
+
+    # -- keys ----------------------------------------------------------------
+
+    def stmt_key(self, meta, frames_repr) -> str:
+        sid = meta.stmt.sid
+        ch = self._content_memo.get(sid)
+        if ch is None:
+            ch = stmt_content_hash(meta.stmt, self.fn_hashes)
+            self._content_memo[sid] = ch
+        site = self.ctx.filter_sites.site
+        site_consts = tuple(
+            (s, site(s).a, site(s).b) for s in meta.sites)
+        return stmt_record_key(self.ordinals.get(sid, -1), ch,
+                               frames_repr, meta, site_consts)
+
+    def donor_pairs(self, key: str):
+        return self.donor.get(key)
+
+    # -- journaling ----------------------------------------------------------
+
+    def record(self, key: str, meta, pre, post) -> None:
+        """Journal one (pre, post) occurrence as its slim footprint
+        slice, deduplicating consecutive identical pairs (converged
+        iterations splice the same record over and over) and respecting
+        the per-key and total caps."""
+        j = self.journal
+        if j is None:
+            return
+        last = self._last.get(key)
+        if last is not None and last[0] is pre and last[1] is post:
+            return
+        from ..iterator.incremental import slim_pair
+
+        lst = j.get(key)
+        if lst is None:
+            if self.total_pairs >= self.max_total_pairs:
+                self.pairs_dropped += 1
+                return
+            j[key] = [slim_pair(meta, pre, post)]
+        else:
+            if (len(lst) >= self.max_pairs_per_key
+                    or self.total_pairs >= self.max_total_pairs):
+                self.pairs_dropped += 1
+                return
+            lst.append(slim_pair(meta, pre, post))
+        self._last[key] = (pre, post)
+        self.total_pairs += 1
+
+    # -- harvest -------------------------------------------------------------
+
+    def harvest_bytes(self, result) -> Optional[bytes]:
+        """The pickled journal of this run, or None when the run is
+        ineligible (degraded, configuration mutated mid-run, or nothing
+        was journaled)."""
+        if (self.journal is None or not self.journal or result.degraded
+                or self.ctx is None
+                or self.ctx.config_generation != self._gen0):
+            return None
+        return pickle.dumps(self.journal, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def store_harvest(self, result) -> bool:
+        """Harvest and persist through the journal store; returns
+        whether a journal was written."""
+        if self.journal_store is None or self.compat is None:
+            return False
+        data = self.harvest_bytes(result)
+        if data is None:
+            return False
+        self.journal_store.put(self.compat, data)
+        return True
+
+
+class FrontendCache:
+    """Bounded in-memory cache of parsed+lowered IR programs, keyed by
+    (source digest, entry).  Statement/variable/loop ids are assigned at
+    lowering time, so a reused program carries identical ids — a repeat
+    request skips the whole frontend and lands on identical coordinates."""
+
+    def __init__(self, max_entries: int = 32):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, src_digest: str, entry: str):
+        key = (src_digest, entry)
+        prog = self._entries.get(key)
+        if prog is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return prog
+
+    def put(self, src_digest: str, entry: str, prog) -> None:
+        self._entries[(src_digest, entry)] = prog
+        self._entries.move_to_end((src_digest, entry))
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}

@@ -1,0 +1,124 @@
+"""Client side of the analysis daemon: ``astree-repro client``.
+
+:class:`ServeClient` is a thin synchronous wrapper over the protocol —
+connect, send one JSON line, read one JSON line.  The submit-and-wait
+path is the normal workflow; ``edit_loop`` is the built-in benchmark
+driver (``--edit-loop N``): it analyzes the given source cold, then N
+perturbed near-duplicates (repro.serve.workload), reporting per-request
+wall time, cache disposition and the digest-equality check against a
+bypass-cache reference run.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .protocol import ProtocolError, recv_message, send_message
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One connection to a running daemon."""
+
+    def __init__(self, socket_path: str, timeout: Optional[float] = None):
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._reader = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, message: Dict) -> Dict:
+        send_message(self._sock, message)
+        reply = recv_message(self._reader)
+        if reply is None:
+            raise ProtocolError("daemon closed the connection")
+        return reply
+
+    # -- ops -----------------------------------------------------------------
+
+    def ping(self) -> Dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> Dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict:
+        return self.request({"op": "shutdown"})
+
+    def submit(self, sources: List[Tuple[str, str]], entry: str = "main",
+               config: Optional[Dict] = None, wait: bool = True,
+               bypass_cache: bool = False) -> Dict:
+        return self.request({
+            "op": "submit", "sources": [list(p) for p in sources],
+            "entry": entry, "config": config or {}, "wait": wait,
+            "bypass_cache": bypass_cache,
+        })
+
+    # -- the --edit-loop benchmark driver ------------------------------------
+
+    def edit_loop(self, filename: str, source: str, rounds: int,
+                  entry: str = "main", config: Optional[Dict] = None,
+                  verify: bool = True) -> Dict:
+        """Submit ``source`` then ``rounds`` perturbed near-duplicates;
+        per round optionally submit a ``bypass_cache`` reference of the
+        same variant and check digest equality.  Returns a summary dict
+        (per-round rows + aggregate speedup)."""
+        from .workload import make_variant
+
+        rows: List[Dict] = []
+        mismatches = 0
+        for i in range(rounds + 1):
+            variant = make_variant(source, i)  # i=0: the base source
+            t0 = time.perf_counter()
+            reply = self.submit([(filename, variant)], entry=entry,
+                                config=config)
+            wall = time.perf_counter() - t0
+            if not reply.get("ok"):
+                raise RuntimeError(
+                    f"edit-loop round {i} failed: {reply.get('error')}")
+            row = {
+                "round": i,
+                "cached": reply["cached"],
+                "digest": reply["digest"],
+                "client_wall_s": wall,
+                "server_wall_s": reply["wall_s"],
+                "cross_run_hits":
+                    reply["result"].get("cross_run_hits", 0),
+            }
+            if verify:
+                ref = self.submit([(filename, variant)], entry=entry,
+                                  config=config, bypass_cache=True)
+                if not ref.get("ok"):
+                    raise RuntimeError(
+                        f"edit-loop reference {i} failed: "
+                        f"{ref.get('error')}")
+                row["reference_digest"] = ref["digest"]
+                row["bit_identical"] = ref["digest"] == reply["digest"]
+                if not row["bit_identical"]:
+                    mismatches += 1
+            rows.append(row)
+        warm = [r["server_wall_s"] for r in rows[1:]
+                if not r["cached"]]
+        cold = rows[0]["server_wall_s"]
+        return {
+            "rounds": rows,
+            "mismatches": mismatches,
+            "cold_wall_s": cold,
+            "warm_avg_wall_s": sum(warm) / len(warm) if warm else 0.0,
+        }

@@ -1,0 +1,147 @@
+"""The daemon's in-process job queue.
+
+One FIFO queue, one worker: analysis runs are CPU-bound and share
+process-global warm state (intern pools, closure memo, the active
+analysis context used by journal unpickling), so running them
+sequentially in a single worker thread is both the fast and the correct
+arrangement — warm state stays coherent, and a submit never makes an
+earlier job slower.  Backpressure is a bounded queue: submits beyond
+``max_queue`` pending jobs are refused with an error response rather
+than buffered without limit.
+
+Each job carries its own effective configuration, including the per-job
+supervisor budgets the server imposes (wall deadline, RSS cap) so a
+pathological request degrades or dies under the supervisor instead of
+wedging the daemon.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Job", "JobQueue", "QueueFull"]
+
+
+class QueueFull(Exception):
+    """Raised by submit when the pending queue is at capacity."""
+
+
+class Job:
+    """One analysis request moving through queued -> running -> done or
+    failed.  ``envelope`` is the protocol result envelope once done;
+    ``error`` the failure message otherwise."""
+
+    __slots__ = ("job_id", "sources", "entry", "config_overrides",
+                 "bypass_cache", "state", "envelope", "error", "done",
+                 "enqueued_depth")
+
+    def __init__(self, job_id: str, sources: List[Tuple[str, str]],
+                 entry: str, config_overrides: Dict,
+                 bypass_cache: bool = False):
+        self.job_id = job_id
+        self.sources = sources
+        self.entry = entry
+        self.config_overrides = config_overrides
+        self.bypass_cache = bypass_cache
+        self.state = "queued"
+        self.envelope: Optional[Dict] = None
+        self.error: Optional[str] = None
+        self.done = threading.Event()
+        # Queue depth observed at submit time (surfaced per request).
+        self.enqueued_depth = 0
+
+    def finish(self, envelope: Dict) -> None:
+        self.envelope = envelope
+        self.state = "done"
+        self.done.set()
+
+    def fail(self, message: str) -> None:
+        self.error = message
+        self.state = "failed"
+        self.done.set()
+
+
+class JobQueue:
+    """Bounded FIFO of Jobs with a registry for status/result lookups."""
+
+    def __init__(self, max_queue: int = 64, max_finished: int = 256):
+        self.max_queue = max_queue
+        self.max_finished = max_finished
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._pending: "deque[Job]" = deque()
+        self._jobs: Dict[str, Job] = {}
+        self._finished_order: "deque[str]" = deque()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+
+    def new_job_id(self) -> str:
+        return f"job-{next(self._ids)}"
+
+    def submit(self, job: Job) -> None:
+        with self._lock:
+            if self._closed:
+                self.rejected += 1
+                raise QueueFull("daemon is shutting down")
+            if len(self._pending) >= self.max_queue:
+                self.rejected += 1
+                raise QueueFull(
+                    f"queue full ({self.max_queue} jobs pending)")
+            job.enqueued_depth = len(self._pending)
+            self._pending.append(job)
+            self._jobs[job.job_id] = job
+            self.submitted += 1
+            self._available.notify()
+
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Blocks until a job is available or the queue is closed."""
+        with self._lock:
+            while not self._pending and not self._closed:
+                if not self._available.wait(timeout):
+                    return None
+            if not self._pending:
+                return None
+            job = self._pending.popleft()
+            job.state = "running"
+            return job
+
+    def job_done(self, job: Job) -> None:
+        with self._lock:
+            if job.state == "failed":
+                self.failed += 1
+            else:
+                self.completed += 1
+            self._finished_order.append(job.job_id)
+            while len(self._finished_order) > self.max_finished:
+                old = self._finished_order.popleft()
+                self._jobs.pop(old, None)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "depth": len(self._pending),
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+            }

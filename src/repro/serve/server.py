@@ -1,0 +1,353 @@
+"""The analysis daemon: ``astree-repro serve``.
+
+One process, one Unix-domain socket, one analysis worker.  Connections
+get a thread each (protocol handling is I/O-bound and cheap); analysis
+jobs run sequentially in the worker so the process-global warm state —
+value intern pool, octagon closure memo, the active analysis context
+journal unpickling resolves against — stays coherent.
+
+The serving pipeline per job:
+
+1. **Exact-result lookup.**  ``request_key`` (source digest + entry +
+   configuration fingerprint) indexes the :class:`ResultStore`.  A hit
+   returns the stored envelope in microseconds — the analyzer is
+   deterministic, so the stored result *is* the result.
+2. **Frontend cache.**  On a miss, the parsed+lowered IR program is
+   reused from the :class:`FrontendCache` when the same (source, entry)
+   was compiled before (fingerprinting still reruns per job; cell ids
+   are assigned per context, not per program reuse).
+3. **Cross-run fixpoint cache.**  The run is handed a
+   :class:`CrossRunCache` wired to the :class:`JournalStore`: the donor
+   journal of the previous run with the same compat fingerprint seeds
+   the incremental engine, so only edited slices of a near-duplicate
+   program re-execute.  The run's own journal is harvested back unless
+   the run degraded.
+4. **Store.**  Non-degraded results are written to the result store
+   (atomic, survives restarts); degraded results are served but never
+   cached — a retry with a higher budget must not be answered with the
+   coarse verdict.
+
+Every job runs under per-job supervisor budgets (defaults below,
+overridable per request) so one pathological input degrades or dies
+under the supervisor instead of wedging the daemon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..config import AnalyzerConfig
+from .cache import CrossRunCache, FrontendCache
+from .fingerprints import (request_key, result_digest, result_payload,
+                           source_digest)
+from .jobs import Job, JobQueue, QueueFull
+from .protocol import ProtocolError, error_response, recv_message, send_message
+from .store import JournalStore, ResultStore
+
+__all__ = ["AnalysisServer", "ServeConfig"]
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Daemon settings (CLI: ``astree-repro serve``)."""
+
+    socket_path: str = "astree-serve.sock"
+    cache_dir: Optional[str] = None  # None: in-memory caches only
+    max_queue: int = 64
+    # Per-job supervisor budget defaults; requests may override.
+    job_deadline_s: Optional[float] = 300.0
+    job_rss_limit_kib: Optional[int] = None
+    # Base configuration jobs start from before request overrides.
+    base_config: AnalyzerConfig = dataclasses.field(
+        default_factory=AnalyzerConfig)
+
+
+# Configuration fields a request may override.  Everything else is the
+# daemon operator's call; rejecting unknown keys early gives clients a
+# real error instead of a silently ignored knob.
+_CLIENT_FIELDS = frozenset({
+    "input_ranges", "max_clock", "default_unroll", "partition_functions",
+    "enable_octagons", "enable_ellipsoids", "enable_decision_trees",
+    "enable_clock", "collect_invariants", "trace", "incremental", "jobs",
+    "wall_deadline_s", "rss_limit_kib", "stmt_timeout_s",
+})
+
+
+def _decode_overrides(raw: Dict) -> Dict:
+    """JSON-decoded config overrides -> AnalyzerConfig field values
+    (tuples and sets do not survive JSON; rebuild them)."""
+    out: Dict = {}
+    for key, value in raw.items():
+        if key not in _CLIENT_FIELDS:
+            raise ValueError(f"config field not settable over serve: {key}")
+        if key == "input_ranges":
+            value = {name: (float(lo), float(hi))
+                     for name, (lo, hi) in dict(value).items()}
+        elif key == "partition_functions":
+            value = set(value)
+        out[key] = value
+    return out
+
+
+class AnalysisServer:
+    """The long-lived daemon.  ``serve_forever`` blocks until a
+    ``shutdown`` request (or ``stop()``) arrives."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.queue = JobQueue(max_queue=config.max_queue)
+        self.results = ResultStore(config.cache_dir)
+        self.journals = JournalStore(config.cache_dir)
+        self.frontend = FrontendCache()
+        self.started_at = time.monotonic()
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        # Serving counters (the stats op).
+        self.requests = 0
+        self.result_hits = 0
+        self.cold_runs = 0
+        self.warm_runs = 0       # runs that spliced >= 1 donor record
+        self.degraded_runs = 0
+        self.cold_wall_s = 0.0
+        self.warm_wall_s = 0.0
+        self.journal_harvests = 0
+
+    # -- job execution (worker thread) ---------------------------------------
+
+    def _job_config(self, job: Job) -> AnalyzerConfig:
+        overrides = _decode_overrides(job.config_overrides)
+        sc = self.config
+        if "wall_deadline_s" not in overrides and sc.job_deadline_s:
+            overrides["wall_deadline_s"] = sc.job_deadline_s
+        if "rss_limit_kib" not in overrides and sc.job_rss_limit_kib:
+            overrides["rss_limit_kib"] = sc.job_rss_limit_kib
+        return sc.base_config.with_overrides(**overrides)
+
+    def run_job(self, job: Job) -> Dict:
+        """Serve one job through the cache pipeline; returns the result
+        envelope.  Raising is reserved for protocol-level bugs — analysis
+        errors are caught here and turned into failure envelopes."""
+        t0 = time.perf_counter()
+        self.requests += 1
+        cfg = self._job_config(job)
+        src_digest = source_digest(job.sources)
+        rkey = request_key(src_digest, job.entry, cfg)
+        if not job.bypass_cache:
+            stored = self.results.get(rkey)
+            if stored is not None:
+                self.result_hits += 1
+                return {
+                    "ok": True, "job_id": job.job_id, "cached": True,
+                    "digest": stored["digest"], "result": stored["result"],
+                    "wall_s": time.perf_counter() - t0,
+                    "queue_depth": job.enqueued_depth,
+                }
+
+        from ..analysis import analyze_program
+        from ..frontend import compile_source, link_sources
+
+        prog = self.frontend.get(src_digest, job.entry)
+        parse_s = 0.0
+        if prog is None:
+            p0 = time.perf_counter()
+            if len(job.sources) == 1:
+                name, text = job.sources[0]
+                prog = compile_source(text, name, entry=job.entry)
+            else:
+                prog = link_sources(list(job.sources), entry=job.entry)
+            parse_s = time.perf_counter() - p0
+            self.frontend.put(src_digest, job.entry, prog)
+
+        cross_run = None
+        if cfg.incremental and not cfg.trace and not job.bypass_cache:
+            cross_run = CrossRunCache(journal_store=self.journals)
+        result = analyze_program(prog, cfg, parse_seconds=parse_s,
+                                 cross_run=cross_run)
+
+        payload = result_payload(result)
+        digest = result_digest(payload)
+        wall = time.perf_counter() - t0
+        if result.degraded:
+            self.degraded_runs += 1
+        elif result.cross_run_hits > 0:
+            self.warm_runs += 1
+            self.warm_wall_s += wall
+        else:
+            self.cold_runs += 1
+            self.cold_wall_s += wall
+        if cross_run is not None and cross_run.store_harvest(result):
+            self.journal_harvests += 1
+        if not result.degraded and not job.bypass_cache:
+            self.results.put(rkey, {"digest": digest, "result": payload})
+        return {
+            "ok": True, "job_id": job.job_id, "cached": False,
+            "digest": digest, "result": payload, "wall_s": wall,
+            "queue_depth": job.enqueued_depth,
+        }
+
+    def _worker(self) -> None:
+        while True:
+            job = self.queue.next_job()
+            if job is None:
+                return
+            try:
+                job.finish(self.run_job(job))
+            except Exception as e:  # analysis failure -> failed job
+                job.fail(f"{type(e).__name__}: {e}")
+            finally:
+                self.queue.job_done(job)
+
+    # -- request handling (connection threads) -------------------------------
+
+    def _handle(self, msg: Dict) -> Dict:
+        op = msg.get("op")
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid(),
+                    "uptime_s": time.monotonic() - self.started_at}
+        if op == "submit":
+            return self._op_submit(msg)
+        if op == "status":
+            job = self.queue.get(str(msg.get("job_id")))
+            if job is None:
+                return error_response("unknown job_id")
+            return {"ok": True, "job_id": job.job_id, "state": job.state,
+                    "queue_depth": self.queue.depth()}
+        if op == "result":
+            job = self.queue.get(str(msg.get("job_id")))
+            if job is None:
+                return error_response("unknown job_id")
+            job.done.wait()
+            if job.state == "failed":
+                return error_response(job.error or "job failed",
+                                      job_id=job.job_id)
+            return job.envelope
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        if op == "shutdown":
+            self._stop.set()
+            return {"ok": True, "stopping": True}
+        return error_response(f"unknown op: {op!r}")
+
+    def _op_submit(self, msg: Dict) -> Dict:
+        raw = msg.get("sources")
+        if (not isinstance(raw, list) or not raw
+                or not all(isinstance(p, (list, tuple)) and len(p) == 2
+                           for p in raw)):
+            return error_response(
+                "submit needs sources: [[filename, text], ...]")
+        sources = [(str(n), str(t)) for n, t in raw]
+        entry = str(msg.get("entry", "main"))
+        overrides = msg.get("config") or {}
+        if not isinstance(overrides, dict):
+            return error_response("config must be an object")
+        try:
+            _decode_overrides(overrides)  # validate before queueing
+        except (ValueError, TypeError) as e:
+            return error_response(str(e))
+        job = Job(self.queue.new_job_id(), sources, entry, overrides,
+                  bypass_cache=bool(msg.get("bypass_cache", False)))
+        try:
+            self.queue.submit(job)
+        except QueueFull as e:
+            return error_response(str(e), retryable=True)
+        if not msg.get("wait", True):
+            return {"ok": True, "job_id": job.job_id,
+                    "queue_depth": job.enqueued_depth}
+        job.done.wait()
+        if job.state == "failed":
+            return error_response(job.error or "job failed",
+                                  job_id=job.job_id)
+        return job.envelope
+
+    def stats(self) -> Dict:
+        from ..domains.octagon import closure_memo_stats
+
+        ch, csize, cev = closure_memo_stats()
+        warm_avg = self.warm_wall_s / self.warm_runs if self.warm_runs else 0.0
+        cold_avg = self.cold_wall_s / self.cold_runs if self.cold_runs else 0.0
+        return {
+            "pid": os.getpid(),
+            "uptime_s": time.monotonic() - self.started_at,
+            "requests": self.requests,
+            "result_cache": dict(self.results.stats(),
+                                 hits=self.result_hits),
+            "journal_store": dict(self.journals.stats(),
+                                  harvests=self.journal_harvests),
+            "frontend_cache": self.frontend.stats(),
+            "closure_memo": {"hits": ch, "entries": csize,
+                             "evictions": cev},
+            "runs": {
+                "cold": self.cold_runs, "warm": self.warm_runs,
+                "degraded": self.degraded_runs,
+                "cold_avg_wall_s": cold_avg,
+                "warm_avg_wall_s": warm_avg,
+            },
+            "queue": self.queue.stats(),
+        }
+
+    # -- socket plumbing -----------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            reader = conn.makefile("rb")
+            while not self._stop.is_set():
+                try:
+                    msg = recv_message(reader)
+                except ProtocolError as e:
+                    send_message(conn, error_response(str(e)))
+                    return
+                if msg is None:
+                    return
+                send_message(conn, self._handle(msg))
+        except OSError:
+            pass  # client went away; nothing to do
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def serve_forever(self) -> None:
+        path = self.config.socket_path
+        # A stale socket file from a crashed daemon would block bind.
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(path)
+        listener.listen(16)
+        listener.settimeout(0.2)
+        self._listener = listener
+        worker = threading.Thread(target=self._worker, name="analysis-worker",
+                                  daemon=True)
+        worker.start()
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                t = threading.Thread(target=self._serve_connection,
+                                     args=(conn,), daemon=True)
+                t.start()
+                self._threads.append(t)
+        finally:
+            self.queue.close()
+            worker.join(timeout=10.0)
+            listener.close()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()

@@ -344,3 +344,34 @@ class TestOctagonSharing:
         before = Octagon.closure_computations
         b.closed()
         assert Octagon.closure_computations == before + 1
+
+    def test_closure_memo_evicts_oldest_not_wholesale(self):
+        # Capacity overflow drops a small oldest batch; the rest of the
+        # working set keeps hitting (the old behavior cleared the whole
+        # memo, zeroing the hit-rate on every overflow).
+        from repro.domains.octagon import closure_memo_stats
+
+        configure_closure_memo(4)
+        octs = [self._raw(hi=10.0 + i) for i in range(5)]
+        for o in octs:
+            o.closed()
+        hits0, size, evictions = closure_memo_stats()
+        assert evictions >= 1
+        assert size <= 4
+        # Entries 1..4 survived (only the oldest batch was dropped):
+        # re-closing fresh equal matrices hits the memo.
+        for i in range(1, 5):
+            self._raw(hi=10.0 + i).closed()
+        hits1 = closure_memo_stats()[0]
+        assert hits1 == hits0 + 4
+        # The evicted oldest entry recomputes (a miss)...
+        before = Octagon.closure_computations
+        self._raw(hi=10.0).closed()
+        assert Octagon.closure_computations == before + 1
+        # ...and same-capacity reconfiguration keeps the memo warm
+        # (the daemon re-sizes per job without losing the working set).
+        configure_closure_memo(4)
+        pre_hits = closure_memo_stats()[0]
+        self._raw(hi=10.0).closed()
+        assert closure_memo_stats()[0] == pre_hits + 1
+        configure_closure_memo(0)
