@@ -29,7 +29,7 @@ from .analysis import analyze
 from .config import AnalyzerConfig, baseline_config
 from .errors import (
     AnalysisError, CheckpointError, ExitCode, LinkError, ReproError,
-    SourceError, SupervisorHalt,
+    ServeError, SourceError, SupervisorHalt,
 )
 from .frontend import read_source_file
 
@@ -263,6 +263,9 @@ def cmd_fuzz(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from .serve.server import AnalysisServer, ServeConfig
 
     sc = ServeConfig(
@@ -272,12 +275,30 @@ def cmd_serve(args) -> int:
         job_deadline_s=args.job_deadline,
         job_rss_limit_kib=(int(args.job_max_rss * 1024)
                            if args.job_max_rss else None),
+        job_hard_timeout_s=args.job_hard_timeout,
+        isolate_jobs=args.isolate_jobs,
+        drain_deadline_s=args.drain_deadline,
+        backoff_seed=args.backoff_seed,
     )
     server = AnalysisServer(sc)
-    print(f"astree-repro serve: listening on {args.socket}"
+    # SIGTERM/SIGINT start a graceful drain: stop accepting, settle the
+    # in-flight job within the drain deadline, flush stores, remove the
+    # socket, exit 0.  Only the main thread may install handlers.
+    previous = {}
+    on_main = threading.current_thread() is threading.main_thread()
+    if on_main:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(
+                sig, lambda signum, frame: server.stop())
+    mode = "isolated worker" if sc.isolate_jobs else "in-process"
+    print(f"astree-repro serve: listening on {args.socket} ({mode})"
           + (f", cache at {args.cache_dir}" if args.cache_dir else
-             " (in-memory caches)"), flush=True)
-    server.serve_forever()
+             ", in-memory caches"), flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
     print("astree-repro serve: stopped", flush=True)
     return 0
 
@@ -289,6 +310,13 @@ def cmd_client(args) -> int:
     with ServeClient(args.socket, timeout=args.timeout) as client:
         if args.op == "ping":
             print(json.dumps(client.ping(), indent=2))
+            return 0
+        if args.op == "health":
+            reply = client.health()
+            if not reply.get("ok"):
+                print(f"error: {reply.get('error')}", file=sys.stderr)
+                return int(ExitCode.INTERNAL_ERROR)
+            print(json.dumps(reply["health"], indent=2, sort_keys=True))
             return 0
         if args.op == "stats":
             reply = client.stats()
@@ -343,9 +371,12 @@ def cmd_client(args) -> int:
             return 0 if summary["mismatches"] == 0 else 1
 
         reply = client.submit(sources, entry=args.entry, config=overrides,
-                              bypass_cache=args.bypass_cache)
+                              bypass_cache=args.bypass_cache,
+                              retries=args.retries)
         if not reply.get("ok"):
-            print(f"error: {reply.get('error')}", file=sys.stderr)
+            kind = ("quarantined" if reply.get("poisoned") else
+                    "retryable" if reply.get("retryable") else "failed")
+            print(f"error ({kind}): {reply.get('error')}", file=sys.stderr)
             return int(ExitCode.INTERNAL_ERROR)
         result = reply["result"]
         if args.json:
@@ -512,6 +543,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="default per-job wall budget (supervisor)")
     pv.add_argument("--job-max-rss", type=float, default=None, metavar="MIB",
                     help="default per-job RSS budget (supervisor)")
+    pv.add_argument("--job-hard-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="parent-side hard ceiling per job: the analysis "
+                         "worker is killed after this long (outer backstop "
+                         "over the in-analysis budgets)")
+    pv.add_argument("--no-isolate-jobs", dest="isolate_jobs",
+                    action="store_false", default=True,
+                    help="run jobs in the daemon process instead of the "
+                         "supervised worker subprocess (no crash "
+                         "isolation)")
+    pv.add_argument("--drain-deadline", type=float, default=10.0,
+                    metavar="SECONDS",
+                    help="graceful-shutdown budget for the in-flight job "
+                         "before escalation (default 10)")
+    pv.add_argument("--backoff-seed", type=int, default=None, metavar="N",
+                    help="seed for worker restart backoff jitter "
+                         "(deterministic chaos tests)")
     pv.set_defaults(func=cmd_serve)
 
     pc = sub.add_parser("client",
@@ -521,8 +569,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     pc.add_argument("--entry", default="main")
     pc.add_argument("--input-range", action="append", metavar="NAME=LO:HI")
     pc.add_argument("--max-clock", type=int, default=None)
-    pc.add_argument("--op", choices=["submit", "stats", "shutdown", "ping"],
+    pc.add_argument("--op",
+                    choices=["submit", "stats", "health", "shutdown",
+                             "ping"],
                     default="submit")
+    pc.add_argument("--retries", type=int, default=2, metavar="N",
+                    help="resubmit attempts on connection loss or "
+                         "retryable refusals (queue full, draining; "
+                         "default 2)")
     pc.add_argument("--bypass-cache", action="store_true",
                     help="force a cold run (reference for differential "
                          "checks)")
@@ -549,6 +603,8 @@ def _error_phase(exc: BaseException) -> str:
         return "frontend"
     if isinstance(exc, CheckpointError):
         return "checkpoint"
+    if isinstance(exc, ServeError):
+        return "serve"
     if isinstance(exc, (AnalysisError, SupervisorHalt)):
         return "analysis"
     if isinstance(exc, ReproError):

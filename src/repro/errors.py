@@ -15,6 +15,8 @@ __all__ = [
     "AnalysisError",
     "CheckpointError",
     "SupervisorHalt",
+    "ServeError",
+    "ServeConnectionError",
     "ExitCode",
 ]
 
@@ -86,6 +88,17 @@ class AnalysisError(ReproError):
 class CheckpointError(ReproError):
     """A checkpoint file is missing, corrupt, or belongs to a different
     program/configuration (fingerprint mismatch)."""
+
+
+class ServeError(ReproError):
+    """Serving-layer failure (daemon startup, worker supervision)."""
+
+
+class ServeConnectionError(ServeError):
+    """The connection to the daemon could not be established, timed
+    out, or died mid-response (EOF/ECONNRESET).  Always *retryable*: the
+    analyzer is deterministic and results are cached by content, so
+    resubmitting the same request is safe."""
 
 
 class SupervisorHalt(ReproError):

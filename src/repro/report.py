@@ -151,7 +151,24 @@ def render_serve_stats(stats: Dict, title: str = "Serve stats") -> str:
                  f"submitted {queue.get('submitted', 0)}, "
                  f"completed {queue.get('completed', 0)}, "
                  f"failed {queue.get('failed', 0)}, "
-                 f"rejected {queue.get('rejected', 0)}")
+                 f"rejected {queue.get('rejected', 0)}, "
+                 f"cancelled {queue.get('cancelled', 0)}")
+    worker = stats.get("worker", {})
+    if worker:
+        alive = "alive" if worker.get("alive") else "down"
+        lines.append(
+            f"* worker: {worker.get('mode', '?')} "
+            f"(pid {worker.get('pid')}, {alive}), "
+            f"{worker.get('spawns', 0)} spawn(s), "
+            f"{worker.get('restarts', 0)} restart(s)"
+            + (f", last exit {worker['last_exit']}"
+               if worker.get("last_exit") else ""))
+    quarantine = stats.get("quarantine", {})
+    if quarantine.get("poisoned") or quarantine.get("refusals"):
+        lines.append(
+            f"* quarantine: {quarantine.get('poisoned', 0)} poisoned "
+            f"key(s), {quarantine.get('refusals', 0)} refusal(s) "
+            f"({', '.join(quarantine.get('signatures', [])) or '-'})")
     lines.append("")
     lines.append("| layer | hits | misses | evictions | entries |")
     lines.append("|---|---|---|---|---|")
@@ -171,7 +188,8 @@ def render_serve_stats(stats: Dict, title: str = "Serve stats") -> str:
                  f"(avg {runs.get('cold_avg_wall_s', 0.0):.3f} s), "
                  f"{runs.get('warm', 0)} warm "
                  f"(avg {runs.get('warm_avg_wall_s', 0.0):.3f} s), "
-                 f"{runs.get('degraded', 0)} degraded")
+                 f"{runs.get('degraded', 0)} degraded, "
+                 f"{runs.get('retries', 0)} crash-retried")
     lines.append(f"* journal harvests: {js.get('harvests', 0)}")
     return "\n".join(lines) + "\n"
 

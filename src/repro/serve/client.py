@@ -1,12 +1,23 @@
 """Client side of the analysis daemon: ``astree-repro client``.
 
 :class:`ServeClient` is a thin synchronous wrapper over the protocol —
-connect, send one JSON line, read one JSON line.  The submit-and-wait
-path is the normal workflow; ``edit_loop`` is the built-in benchmark
-driver (``--edit-loop N``): it analyzes the given source cold, then N
-perturbed near-duplicates (repro.serve.workload), reporting per-request
-wall time, cache disposition and the digest-equality check against a
-bypass-cache reference run.
+connect, send one JSON line, read one JSON line.  Transport failures
+(connect refused, timeout, the daemon dying mid-response with an EOF or
+ECONNRESET) surface as the typed, always-retryable
+:class:`~repro.errors.ServeConnectionError`, never as raw socket
+errors: the analyzer is deterministic and results are cached by
+content, so resubmitting the same request is always safe.
+
+:meth:`ServeClient.submit` can do that resubmitting itself: with
+``retries > 0`` it reconnects and retries on connection errors and on
+retryable daemon refusals (queue full, draining), honoring the
+server's ``retry_after_s`` hint with exponential backoff on top.
+
+``edit_loop`` is the built-in benchmark driver (``--edit-loop N``): it
+analyzes the given source cold, then N perturbed near-duplicates
+(repro.serve.workload), reporting per-request wall time, cache
+disposition and the digest-equality check against a bypass-cache
+reference run.
 """
 
 from __future__ import annotations
@@ -15,27 +26,49 @@ import socket
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import ServeConnectionError
 from .protocol import ProtocolError, recv_message, send_message
 
 __all__ = ["ServeClient"]
 
 
 class ServeClient:
-    """One connection to a running daemon."""
+    """One connection to a running daemon (reconnects on retry)."""
 
     def __init__(self, socket_path: str, timeout: Optional[float] = None):
         self.socket_path = socket_path
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(socket_path)
-        self._reader = self._sock.makefile("rb")
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self.close()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except socket.timeout:
+            sock.close()
+            raise ServeConnectionError(
+                f"timed out connecting to daemon at {self.socket_path}")
+        except OSError as e:
+            sock.close()
+            raise ServeConnectionError(
+                f"cannot connect to daemon at {self.socket_path}: {e}")
+        self._sock = sock
+        self._reader = sock.makefile("rb")
 
     def close(self) -> None:
         try:
-            self._reader.close()
-            self._sock.close()
+            if self._reader is not None:
+                self._reader.close()
+            if self._sock is not None:
+                self._sock.close()
         except OSError:
             pass
+        self._sock = None
+        self._reader = None
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -44,10 +77,32 @@ class ServeClient:
         self.close()
 
     def request(self, message: Dict) -> Dict:
-        send_message(self._sock, message)
-        reply = recv_message(self._reader)
+        """One request/response round trip.  Raises
+        :class:`ServeConnectionError` if the daemon dies mid-exchange
+        (EOF, ECONNRESET, timeout) — the connection is closed and the
+        next call through a retry path reconnects."""
+        if self._sock is None:
+            self._connect()
+        try:
+            send_message(self._sock, message)
+            reply = recv_message(self._reader)
+        except socket.timeout:
+            self.close()
+            raise ServeConnectionError(
+                f"request timed out after {self.timeout}s "
+                f"(op={message.get('op')!r})")
+        except OSError as e:
+            self.close()
+            raise ServeConnectionError(
+                f"connection to daemon died mid-request: {e}")
+        except ProtocolError as e:
+            self.close()
+            raise ServeConnectionError(
+                f"garbled response from daemon: {e}")
         if reply is None:
-            raise ProtocolError("daemon closed the connection")
+            self.close()
+            raise ServeConnectionError(
+                "daemon closed the connection mid-response")
         return reply
 
     # -- ops -----------------------------------------------------------------
@@ -58,17 +113,45 @@ class ServeClient:
     def stats(self) -> Dict:
         return self.request({"op": "stats"})
 
+    def health(self) -> Dict:
+        return self.request({"op": "health"})
+
     def shutdown(self) -> Dict:
         return self.request({"op": "shutdown"})
 
     def submit(self, sources: List[Tuple[str, str]], entry: str = "main",
                config: Optional[Dict] = None, wait: bool = True,
-               bypass_cache: bool = False) -> Dict:
-        return self.request({
+               bypass_cache: bool = False, retries: int = 0,
+               backoff_s: float = 0.25) -> Dict:
+        """Submit one job.  With ``retries > 0``, connection deaths and
+        retryable daemon refusals (queue full, draining) are retried
+        after the server's ``retry_after_s`` hint (or exponential
+        backoff), reconnecting as needed.  Structured job failures
+        (``poisoned``, analysis errors) are returned as-is — they are
+        answers, not transport faults."""
+        message = {
             "op": "submit", "sources": [list(p) for p in sources],
             "entry": entry, "config": config or {}, "wait": wait,
             "bypass_cache": bypass_cache,
-        })
+        }
+        attempt = 0
+        while True:
+            try:
+                reply = self.request(message)
+            except ServeConnectionError:
+                if attempt >= retries:
+                    raise
+                time.sleep(backoff_s * (2 ** attempt))
+                attempt += 1
+                continue
+            if (not reply.get("ok") and reply.get("retryable")
+                    and attempt < retries):
+                delay = reply.get("retry_after_s")
+                time.sleep(float(delay) if delay
+                           else backoff_s * (2 ** attempt))
+                attempt += 1
+                continue
+            return reply
 
     # -- the --edit-loop benchmark driver ------------------------------------
 

@@ -1,35 +1,55 @@
 """The analysis daemon: ``astree-repro serve``.
 
-One process, one Unix-domain socket, one analysis worker.  Connections
-get a thread each (protocol handling is I/O-bound and cheap); analysis
-jobs run sequentially in the worker so the process-global warm state —
-value intern pool, octagon closure memo, the active analysis context
-journal unpickling resolves against — stays coherent.
+One parent process, one Unix-domain socket, one *supervised analysis
+worker subprocess*.  Connections get a thread each (protocol handling
+is I/O-bound and cheap); analysis jobs run sequentially through the
+worker so its process-global warm state — value intern pool, octagon
+closure memo, the active analysis context journal unpickling resolves
+against — stays coherent.
+
+The crash-isolation split (ISSUE 7): the parent owns everything that
+must survive a crashing job — the accepted queue, the exact-result
+store, the poison quarantine — while the worker subprocess owns the
+warm per-process analysis state (frontend cache, journal store, intern
+pools).  A job that segfaults, OOMs, or wedges the worker kills *one
+subprocess*: the supervisor (repro.serve.supervise) restarts it with
+seeded exponential backoff, retries the in-flight job once on a fresh
+worker, and quarantines request keys that kill workers twice under one
+stable crash signature.  ``--no-isolate-jobs`` falls back to running
+the same pipeline in-process (no isolation, no subprocess overhead).
 
 The serving pipeline per job:
 
-1. **Exact-result lookup.**  ``request_key`` (source digest + entry +
+1. **Quarantine check.**  A poisoned request key is answered with a
+   structured ``poisoned`` error without touching a worker (a
+   ``bypass_cache`` run skips the check and, on success, re-admits the
+   key).
+2. **Exact-result lookup.**  ``request_key`` (source digest + entry +
    configuration fingerprint) indexes the :class:`ResultStore`.  A hit
    returns the stored envelope in microseconds — the analyzer is
    deterministic, so the stored result *is* the result.
-2. **Frontend cache.**  On a miss, the parsed+lowered IR program is
-   reused from the :class:`FrontendCache` when the same (source, entry)
-   was compiled before (fingerprinting still reruns per job; cell ids
-   are assigned per context, not per program reuse).
-3. **Cross-run fixpoint cache.**  The run is handed a
-   :class:`CrossRunCache` wired to the :class:`JournalStore`: the donor
-   journal of the previous run with the same compat fingerprint seeds
-   the incremental engine, so only edited slices of a near-duplicate
-   program re-execute.  The run's own journal is harvested back unless
-   the run degraded.
+3. **Dispatch to the worker** (repro.serve.worker), which runs the
+   frontend cache -> cross-run fixpoint cache -> analysis -> journal
+   harvest pipeline and replies with a result envelope over
+   length-prefixed pipe frames.
 4. **Store.**  Non-degraded results are written to the result store
-   (atomic, survives restarts); degraded results are served but never
-   cached — a retry with a higher budget must not be answered with the
-   coarse verdict.
+   (atomic, checksummed, survives restarts); degraded results are
+   served but never cached — a retry with a higher budget must not be
+   answered with the coarse verdict.  Results produced after a crash
+   retry are cached only because they are *complete successful runs*;
+   a crashed or cancelled job never reaches the store.
+
+Shutdown is a *drain*: ``stop()`` (or SIGTERM/SIGINT via the CLI, or
+the ``shutdown`` op) stops accepting submissions, lets the in-flight
+job finish within ``drain_deadline_s``, then escalates — queued jobs
+fail with retryable cancellation envelopes, the worker is killed — and
+always flushes stores, removes the socket file, and returns (exit 0).
 
 Every job runs under per-job supervisor budgets (defaults below,
 overridable per request) so one pathological input degrades or dies
-under the supervisor instead of wedging the daemon.
+under the in-analysis supervisor instead of wedging the daemon;
+``job_hard_timeout_s`` adds an outer parent-side ceiling after which
+the worker itself is killed.
 """
 
 from __future__ import annotations
@@ -37,17 +57,20 @@ from __future__ import annotations
 import dataclasses
 import os
 import socket
+import sys
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..config import AnalyzerConfig
-from .cache import CrossRunCache, FrontendCache
-from .fingerprints import (request_key, result_digest, result_payload,
-                           source_digest)
-from .jobs import Job, JobQueue, QueueFull
+from ..errors import ServeError
+from .fingerprints import request_key, source_digest
+from .jobs import (Job, JobQueue, QueueFull, decode_overrides,
+                   effective_config)
 from .protocol import ProtocolError, error_response, recv_message, send_message
-from .store import JournalStore, ResultStore
+from .store import ResultStore
+from .supervise import PoisonRegistry, WorkerCrashed, WorkerSupervisor
+from .worker import InProcessExecutor
 
 __all__ = ["AnalysisServer", "ServeConfig"]
 
@@ -62,50 +85,54 @@ class ServeConfig:
     # Per-job supervisor budget defaults; requests may override.
     job_deadline_s: Optional[float] = 300.0
     job_rss_limit_kib: Optional[int] = None
+    # Parent-side hard ceiling per dispatch: the worker is killed (and
+    # the job fails with a stable timeout signature) after this many
+    # seconds.  None: rely on the in-analysis supervisor budgets only.
+    job_hard_timeout_s: Optional[float] = None
+    # Crash isolation: run jobs in a supervised worker subprocess.
+    isolate_jobs: bool = True
+    # Graceful-drain budget for the in-flight job on shutdown.
+    drain_deadline_s: float = 10.0
+    # Worker restart pacing (exponential backoff base; the seed pins
+    # the jitter sequence for deterministic chaos tests).
+    restart_backoff_s: float = 0.05
+    backoff_seed: Optional[int] = None
     # Base configuration jobs start from before request overrides.
     base_config: AnalyzerConfig = dataclasses.field(
         default_factory=AnalyzerConfig)
 
 
-# Configuration fields a request may override.  Everything else is the
-# daemon operator's call; rejecting unknown keys early gives clients a
-# real error instead of a silently ignored knob.
-_CLIENT_FIELDS = frozenset({
-    "input_ranges", "max_clock", "default_unroll", "partition_functions",
-    "enable_octagons", "enable_ellipsoids", "enable_decision_trees",
-    "enable_clock", "collect_invariants", "trace", "incremental", "jobs",
-    "wall_deadline_s", "rss_limit_kib", "stmt_timeout_s",
-})
-
-
-def _decode_overrides(raw: Dict) -> Dict:
-    """JSON-decoded config overrides -> AnalyzerConfig field values
-    (tuples and sets do not survive JSON; rebuild them)."""
-    out: Dict = {}
-    for key, value in raw.items():
-        if key not in _CLIENT_FIELDS:
-            raise ValueError(f"config field not settable over serve: {key}")
-        if key == "input_ranges":
-            value = {name: (float(lo), float(hi))
-                     for name, (lo, hi) in dict(value).items()}
-        elif key == "partition_functions":
-            value = set(value)
-        out[key] = value
-    return out
-
-
 class AnalysisServer:
     """The long-lived daemon.  ``serve_forever`` blocks until a
-    ``shutdown`` request (or ``stop()``) arrives."""
+    ``shutdown`` request (or ``stop()``, or a handled signal) arrives,
+    then drains and cleans up before returning."""
 
     def __init__(self, config: ServeConfig):
         self.config = config
         self.queue = JobQueue(max_queue=config.max_queue)
         self.results = ResultStore(config.cache_dir)
-        self.journals = JournalStore(config.cache_dir)
-        self.frontend = FrontendCache()
+        self.poison = PoisonRegistry(config.cache_dir)
+        if config.isolate_jobs:
+            from .fingerprints import config_fingerprint
+
+            if (config_fingerprint(config.base_config)
+                    != config_fingerprint(AnalyzerConfig())):
+                # The worker builds its configs from the stock defaults;
+                # a semantically different base would silently disagree
+                # with the parent's request keys.  Refuse loudly instead.
+                raise ServeError(
+                    "isolate_jobs does not support a semantically "
+                    "non-default base_config; pass isolate_jobs=False")
+            self.executor = WorkerSupervisor(
+                cache_dir=config.cache_dir,
+                backoff_base_s=config.restart_backoff_s,
+                backoff_seed=config.backoff_seed)
+        else:
+            self.executor = InProcessExecutor(config.cache_dir,
+                                              config.base_config)
         self.started_at = time.monotonic()
         self._stop = threading.Event()
+        self._draining = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
         # Serving counters (the stats op).
@@ -117,88 +144,163 @@ class AnalysisServer:
         self.cold_wall_s = 0.0
         self.warm_wall_s = 0.0
         self.journal_harvests = 0
+        self.job_retries = 0
+        self.poisoned_refusals = 0
+        self.incidents: List[str] = []
 
-    # -- job execution (worker thread) ---------------------------------------
+    def _incident(self, message: str) -> None:
+        self.incidents.append(message)
+        print(f"astree-repro serve: {message}", file=sys.stderr, flush=True)
 
-    def _job_config(self, job: Job) -> AnalyzerConfig:
-        overrides = _decode_overrides(job.config_overrides)
-        sc = self.config
-        if "wall_deadline_s" not in overrides and sc.job_deadline_s:
-            overrides["wall_deadline_s"] = sc.job_deadline_s
-        if "rss_limit_kib" not in overrides and sc.job_rss_limit_kib:
-            overrides["rss_limit_kib"] = sc.job_rss_limit_kib
-        return sc.base_config.with_overrides(**overrides)
+    # -- job execution (dispatcher thread) -----------------------------------
 
-    def run_job(self, job: Job) -> Dict:
-        """Serve one job through the cache pipeline; returns the result
-        envelope.  Raising is reserved for protocol-level bugs — analysis
-        errors are caught here and turned into failure envelopes."""
+    def _job_defaults(self) -> Dict:
+        return {"deadline_s": self.config.job_deadline_s,
+                "rss_kib": self.config.job_rss_limit_kib}
+
+    def _serve_job(self, job: Job) -> None:
+        """Drive one job to completion: quarantine check, exact-result
+        lookup, worker dispatch with one crash retry.  Always settles
+        the job (finish or fail); raising is reserved for bugs."""
         t0 = time.perf_counter()
         self.requests += 1
-        cfg = self._job_config(job)
-        src_digest = source_digest(job.sources)
-        rkey = request_key(src_digest, job.entry, cfg)
+        cfg = effective_config(self.config.base_config,
+                               job.config_overrides,
+                               self.config.job_deadline_s,
+                               self.config.job_rss_limit_kib)
+        rkey = request_key(source_digest(job.sources), job.entry, cfg)
+
         if not job.bypass_cache:
+            entry = self.poison.check(rkey)
+            if entry is not None:
+                self.poisoned_refusals += 1
+                job.fail(
+                    f"job is quarantined: it crashed the analysis worker "
+                    f"{entry['crashes']} times [{entry['signature']}]; "
+                    f"resubmit with bypass_cache to re-admit it",
+                    poisoned=True, signature=entry["signature"],
+                    request_key=rkey)
+                return
             stored = self.results.get(rkey)
             if stored is not None:
                 self.result_hits += 1
-                return {
+                job.finish({
                     "ok": True, "job_id": job.job_id, "cached": True,
                     "digest": stored["digest"], "result": stored["result"],
                     "wall_s": time.perf_counter() - t0,
                     "queue_depth": job.enqueued_depth,
-                }
+                })
+                return
 
-        from ..analysis import analyze_program
-        from ..frontend import compile_source, link_sources
+        try:
+            reply = self.executor.run_job(
+                job, self._job_defaults(),
+                hard_timeout_s=self.config.job_hard_timeout_s)
+        except WorkerCrashed as first:
+            self._crash_retry(job, rkey, first, t0)
+            return
+        except ServeError as e:
+            job.fail(str(e), retryable=True)
+            return
+        self._finish_run(job, rkey, reply, t0)
 
-        prog = self.frontend.get(src_digest, job.entry)
-        parse_s = 0.0
-        if prog is None:
-            p0 = time.perf_counter()
-            if len(job.sources) == 1:
-                name, text = job.sources[0]
-                prog = compile_source(text, name, entry=job.entry)
+    def _crash_retry(self, job: Job, rkey: str, first: WorkerCrashed,
+                     t0: float) -> None:
+        """The job took the worker down.  Count the crash; retry once
+        on a fresh worker unless the signature already poisons the key
+        or the daemon is draining (a drain kills the worker on purpose
+        — that death must neither count against the job nor retry)."""
+        if self._draining.is_set():
+            job.fail("cancelled: daemon is draining", retryable=True,
+                     cancelled=True)
+            return
+        count = self.poison.record_crash(rkey, first.signature)
+        if count >= self.poison.poison_threshold:
+            self._quarantine(job, rkey, first)
+            return
+        self.job_retries += 1
+        self._incident(
+            f"job {job.job_id} crashed the worker "
+            f"[{first.signature}]; retrying once on a fresh worker")
+        try:
+            reply = self.executor.run_job(
+                job, self._job_defaults(),
+                hard_timeout_s=self.config.job_hard_timeout_s)
+        except WorkerCrashed as second:
+            if self._draining.is_set():
+                job.fail("cancelled: daemon is draining", retryable=True,
+                         cancelled=True)
+                return
+            count = self.poison.record_crash(rkey, second.signature)
+            if count >= self.poison.poison_threshold:
+                self._quarantine(job, rkey, second)
             else:
-                prog = link_sources(list(job.sources), entry=job.entry)
-            parse_s = time.perf_counter() - p0
-            self.frontend.put(src_digest, job.entry, prog)
+                # Two crashes under *different* signatures: flaky, not
+                # provably poisonous.  Fail retryable with both.
+                job.fail(
+                    f"worker crashed twice under this job with differing "
+                    f"signatures ({first.signature} then "
+                    f"{second.signature})", retryable=True,
+                    signatures=[first.signature, second.signature])
+            return
+        except ServeError as e:
+            job.fail(str(e), retryable=True)
+            return
+        self._finish_run(job, rkey, reply, t0)
 
-        cross_run = None
-        if cfg.incremental and not cfg.trace and not job.bypass_cache:
-            cross_run = CrossRunCache(journal_store=self.journals)
-        result = analyze_program(prog, cfg, parse_seconds=parse_s,
-                                 cross_run=cross_run)
+    def _quarantine(self, job: Job, rkey: str,
+                    crash: WorkerCrashed) -> None:
+        entry = self.poison.mark_poisoned(rkey, crash.signature)
+        self._incident(
+            f"job {job.job_id} quarantined: request key {rkey[:16]}... "
+            f"crashed the worker {entry['crashes']} times "
+            f"[{crash.signature}]")
+        job.fail(
+            f"job quarantined: it crashed the analysis worker "
+            f"{entry['crashes']} times [{crash.signature}] "
+            f"({crash.exit_status}); resubmit with bypass_cache to "
+            f"re-admit it",
+            poisoned=True, signature=crash.signature, request_key=rkey)
 
-        payload = result_payload(result)
-        digest = result_digest(payload)
+    def _finish_run(self, job: Job, rkey: str, reply: Dict,
+                    t0: float) -> None:
+        """Account a worker envelope and settle the job."""
+        if not reply.get("ok"):
+            job.fail_envelope(dict(reply, job_id=job.job_id))
+            return
+        payload = reply.get("result") or {}
         wall = time.perf_counter() - t0
-        if result.degraded:
+        degraded = bool(reply.get("degraded"))
+        if degraded:
             self.degraded_runs += 1
-        elif result.cross_run_hits > 0:
+        elif payload.get("cross_run_hits", 0) > 0:
             self.warm_runs += 1
             self.warm_wall_s += wall
         else:
             self.cold_runs += 1
             self.cold_wall_s += wall
-        if cross_run is not None and cross_run.store_harvest(result):
+        if reply.get("harvested"):
             self.journal_harvests += 1
-        if not result.degraded and not job.bypass_cache:
-            self.results.put(rkey, {"digest": digest, "result": payload})
-        return {
+        # A complete successful run clears the key's crash history (and
+        # for bypass runs, its quarantine entry: operator re-admission).
+        self.poison.clear(rkey)
+        if not degraded and not job.bypass_cache:
+            self.results.put(rkey, {"digest": reply["digest"],
+                                    "result": payload})
+        job.finish({
             "ok": True, "job_id": job.job_id, "cached": False,
-            "digest": digest, "result": payload, "wall_s": wall,
+            "digest": reply["digest"], "result": payload, "wall_s": wall,
             "queue_depth": job.enqueued_depth,
-        }
+        })
 
-    def _worker(self) -> None:
+    def _dispatcher(self) -> None:
         while True:
             job = self.queue.next_job()
             if job is None:
                 return
             try:
-                job.finish(self.run_job(job))
-            except Exception as e:  # analysis failure -> failed job
+                self._serve_job(job)
+            except Exception as e:  # defensive: never kill the loop
                 job.fail(f"{type(e).__name__}: {e}")
             finally:
                 self.queue.job_done(job)
@@ -223,18 +325,28 @@ class AnalysisServer:
             if job is None:
                 return error_response("unknown job_id")
             job.done.wait()
-            if job.state == "failed":
-                return error_response(job.error or "job failed",
-                                      job_id=job.job_id)
             return job.envelope
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "health":
+            return {"ok": True, "health": self.health()}
         if op == "shutdown":
             self._stop.set()
             return {"ok": True, "stopping": True}
         return error_response(f"unknown op: {op!r}")
 
+    def _retry_after_hint(self) -> float:
+        """Rough seconds-until-capacity for load-shed responses: queue
+        depth times the observed average run time."""
+        runs = self.cold_runs + self.warm_runs
+        avg = ((self.cold_wall_s + self.warm_wall_s) / runs
+               if runs else 1.0)
+        return round(min(60.0, max(0.5, avg * (self.queue.depth() + 1))), 2)
+
     def _op_submit(self, msg: Dict) -> Dict:
+        if self._draining.is_set() or self._stop.is_set():
+            return error_response("daemon is draining", retryable=True,
+                                  retry_after_s=self._retry_after_hint())
         raw = msg.get("sources")
         if (not isinstance(raw, list) or not raw
                 or not all(isinstance(p, (list, tuple)) and len(p) == 2
@@ -247,7 +359,7 @@ class AnalysisServer:
         if not isinstance(overrides, dict):
             return error_response("config must be an object")
         try:
-            _decode_overrides(overrides)  # validate before queueing
+            decode_overrides(overrides)  # validate before queueing
         except (ValueError, TypeError) as e:
             return error_response(str(e))
         job = Job(self.queue.new_job_id(), sources, entry, overrides,
@@ -255,20 +367,16 @@ class AnalysisServer:
         try:
             self.queue.submit(job)
         except QueueFull as e:
-            return error_response(str(e), retryable=True)
+            return error_response(str(e), retryable=True,
+                                  retry_after_s=self._retry_after_hint())
         if not msg.get("wait", True):
             return {"ok": True, "job_id": job.job_id,
                     "queue_depth": job.enqueued_depth}
         job.done.wait()
-        if job.state == "failed":
-            return error_response(job.error or "job failed",
-                                  job_id=job.job_id)
         return job.envelope
 
     def stats(self) -> Dict:
-        from ..domains.octagon import closure_memo_stats
-
-        ch, csize, cev = closure_memo_stats()
+        worker = self.executor.cache_stats() or {}
         warm_avg = self.warm_wall_s / self.warm_runs if self.warm_runs else 0.0
         cold_avg = self.cold_wall_s / self.cold_runs if self.cold_runs else 0.0
         return {
@@ -277,18 +385,36 @@ class AnalysisServer:
             "requests": self.requests,
             "result_cache": dict(self.results.stats(),
                                  hits=self.result_hits),
-            "journal_store": dict(self.journals.stats(),
+            "journal_store": dict(worker.get("journal_store", {}),
                                   harvests=self.journal_harvests),
-            "frontend_cache": self.frontend.stats(),
-            "closure_memo": {"hits": ch, "entries": csize,
-                             "evictions": cev},
+            "frontend_cache": worker.get("frontend_cache", {}),
+            "closure_memo": worker.get("closure_memo",
+                                       {"hits": 0, "entries": 0,
+                                        "evictions": 0}),
+            "worker": self.executor.health(),
+            "quarantine": dict(self.poison.stats(),
+                               refusals=self.poisoned_refusals),
             "runs": {
                 "cold": self.cold_runs, "warm": self.warm_runs,
                 "degraded": self.degraded_runs,
+                "retries": self.job_retries,
                 "cold_avg_wall_s": cold_avg,
                 "warm_avg_wall_s": warm_avg,
             },
             "queue": self.queue.stats(),
+        }
+
+    def health(self) -> Dict:
+        """The ``health`` op: cheap liveness/capacity snapshot (never
+        blocks behind a running job)."""
+        return {
+            "pid": os.getpid(),
+            "uptime_s": time.monotonic() - self.started_at,
+            "draining": self._draining.is_set(),
+            "queue_depth": self.queue.depth(),
+            "worker": self.executor.health(),
+            "quarantine_size": self.poison.size(),
+            "incidents": len(self.incidents),
         }
 
     # -- socket plumbing -----------------------------------------------------
@@ -313,26 +439,55 @@ class AnalysisServer:
             except OSError:
                 pass
 
-    def serve_forever(self) -> None:
+    def _bind_listener(self) -> socket.socket:
+        """Bind the Unix socket, recovering from a stale socket file
+        left by a crashed daemon: probe-connect first — refuse only if
+        something actually answers."""
         path = self.config.socket_path
-        # A stale socket file from a crashed daemon would block bind.
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
+        if os.path.exists(path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.settimeout(1.0)
+            try:
+                probe.connect(path)
+            except (ConnectionRefusedError, FileNotFoundError,
+                    socket.timeout):
+                self._incident(f"removed stale socket {path} "
+                               f"(nothing listening)")
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+            except OSError as e:
+                raise ServeError(f"socket path {path} is unusable: {e}")
+            else:
+                raise ServeError(f"a daemon is already listening on {path}")
+            finally:
+                probe.close()
         listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        listener.bind(path)
+        try:
+            listener.bind(path)
+        except OSError as e:
+            listener.close()
+            raise ServeError(f"cannot bind {path}: {e}")
         listener.listen(16)
         listener.settimeout(0.2)
+        return listener
+
+    def serve_forever(self) -> None:
+        listener = self._bind_listener()
         self._listener = listener
-        worker = threading.Thread(target=self._worker, name="analysis-worker",
-                                  daemon=True)
-        worker.start()
+        self.executor.ensure_started()
+        dispatcher = threading.Thread(target=self._dispatcher,
+                                      name="job-dispatcher", daemon=True)
+        dispatcher.start()
         try:
             while not self._stop.is_set():
                 try:
                     conn, _ = listener.accept()
                 except socket.timeout:
+                    if len(self._threads) > 64:
+                        self._threads = [t for t in self._threads
+                                         if t.is_alive()]
                     continue
                 except OSError:
                     break
@@ -341,13 +496,48 @@ class AnalysisServer:
                 t.start()
                 self._threads.append(t)
         finally:
-            self.queue.close()
-            worker.join(timeout=10.0)
-            listener.close()
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._shutdown_sequence(dispatcher, listener)
+
+    def _shutdown_sequence(self, dispatcher: threading.Thread,
+                           listener: socket.socket) -> None:
+        """Drain, escalate, flush, clean up.  Runs to completion even
+        when escalation is needed — the daemon always exits cleanly."""
+        self._draining.set()
+        self.queue.close()  # no new submits; wakes an idle dispatcher
+        deadline = time.monotonic() + max(0.0, self.config.drain_deadline_s)
+        while self.queue.busy() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        if self.queue.busy():
+            n = self.queue.cancel_pending(
+                "cancelled: daemon drain deadline exceeded")
+            self._incident(
+                f"drain deadline ({self.config.drain_deadline_s:.1f}s) "
+                f"exceeded: cancelled {n} queued job(s), aborting the "
+                f"in-flight job")
+            self.executor.abort_current()
+        dispatcher.join(timeout=10.0)
+        if dispatcher.is_alive():
+            # Never silently leak a live dispatcher: escalate once more,
+            # then record the incident if it still will not die.
+            self._incident("dispatcher did not exit at drain deadline; "
+                           "killing the worker")
+            self.executor.abort_current()
+            self.queue.cancel_pending("cancelled: daemon is shutting down")
+            dispatcher.join(timeout=5.0)
+            if dispatcher.is_alive():
+                self._incident("dispatcher thread leaked past shutdown "
+                               "escalation (daemonic; abandoning it)")
+        # Let connection threads flush final responses for settled jobs.
+        flush_deadline = time.monotonic() + 2.0
+        for t in self._threads:
+            t.join(timeout=max(0.0, flush_deadline - time.monotonic()))
+        self.executor.shutdown()
+        self.poison.flush()
+        listener.close()
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
 
     def stop(self) -> None:
         self._stop.set()

@@ -8,12 +8,19 @@ never corrupts an entry, and evict by file mtime when a configured
 entry bound is exceeded — cache warmth survives daemon restarts, disk
 usage stays bounded.
 
+Every entry is stored under a payload checksum: one line holding the
+hex SHA-256 of the payload bytes, then the payload.  Reads verify it;
+an entry that fails (truncated write that survived a crash, bit rot,
+hand-editing) is **moved to a ``quarantine/`` subdirectory** — counted
+as a miss, preserved for post-mortem, and never re-read or served.
+
 A small in-memory layer fronts each store; its hit/miss/eviction
 counters feed the daemon's ``stats`` protocol op.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -63,6 +70,7 @@ class _DiskStore:
         self.misses = 0
         self.puts = 0
         self.evictions = 0
+        self.quarantined = 0
 
     # -- encoding hooks ------------------------------------------------------
 
@@ -89,13 +97,13 @@ class _DiskStore:
         if path is not None and os.path.exists(path):
             try:
                 with open(path, "rb") as f:
-                    value = self._decode(f.read())
+                    data = f.read()
+                value = self._decode(self._verify(data))
             except (OSError, ValueError):
-                # A corrupt entry is a miss, never an error: drop it.
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
+                # A corrupt entry is a miss, never an error: move it
+                # aside for post-mortem so it is never served or
+                # re-read, and the key can be repopulated.
+                self._quarantine(path)
                 self.misses += 1
                 return None
             self._remember(key, value)
@@ -104,13 +112,39 @@ class _DiskStore:
         self.misses += 1
         return None
 
+    @staticmethod
+    def _checksum(payload: bytes) -> bytes:
+        return hashlib.sha256(payload).hexdigest().encode() + b"\n"
+
+    def _verify(self, data: bytes) -> bytes:
+        """Strip and check the checksum header; ValueError on mismatch
+        (including headerless files from before checksumming)."""
+        header, sep, payload = data.partition(b"\n")
+        if (not sep or len(header) != 64
+                or header != self._checksum(payload)[:64]):
+            raise ValueError("payload checksum mismatch")
+        return payload
+
+    def _quarantine(self, path: str) -> None:
+        qdir = os.path.join(os.path.dirname(path), "quarantine")
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+            self.quarantined += 1
+        except OSError:
+            try:  # cannot move it: dropping beats re-reading garbage
+                os.unlink(path)
+            except OSError:
+                pass
+
     def put(self, key: str, value) -> None:
         self.puts += 1
         self._remember(key, value)
         path = self._path(key)
         if path is None:
             return
-        _atomic_write(path, self._encode(value))
+        payload = self._encode(value)
+        _atomic_write(path, self._checksum(payload) + payload)
         self._evict_disk()
 
     def _remember(self, key: str, value) -> None:
@@ -161,6 +195,7 @@ class _DiskStore:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
             "memory_entries": len(self._mem),
             "disk_entries": self.entry_count(),
         }

@@ -1,0 +1,495 @@
+"""Supervision of the out-of-process analysis worker.
+
+The daemon never runs analysis in its own process: jobs are dispatched
+to one ``python -m repro.serve.worker`` subprocess over length-prefixed
+pipe frames.  This module is the parent half of that arrangement:
+
+* :class:`WorkerHandle` — one live worker subprocess: framed
+  request/response with a hard deadline, stderr capture (ring buffer,
+  passed through to the daemon's stderr), death detection.  EOF, a
+  half-written frame, and a hard-deadline overrun all surface as
+  :class:`WorkerDied`.
+* :class:`WorkerSupervisor` — the restart loop: spawns workers, paces
+  respawns with seeded exponential backoff + jitter
+  (:class:`repro.supervisor.restart.RestartPolicy`), verifies each
+  spawn with a ping, and converts a death into a
+  :class:`WorkerCrashed` carrying a *stable crash signature* (the
+  fuzz-triage normalization over the worker's stderr tail, falling back
+  to the exit status) so the server can quarantine jobs that kill
+  workers reproducibly.
+* :class:`PoisonRegistry` — the quarantine: request keys that crashed a
+  worker twice under one signature are answered with a structured
+  ``poisoned`` error instead of being re-run.  Persisted atomically
+  under ``<cache>/quarantine/poisoned.json`` so a daemon restart does
+  not forget which inputs are lethal.
+
+The supervisor serializes pipe access with a lock, but
+:meth:`WorkerSupervisor.abort_current` deliberately takes no lock: the
+drain path must be able to kill a wedged worker *while* the dispatcher
+thread is blocked inside ``run_job`` holding the lock — the kill makes
+the blocked read fail with EOF, which unblocks the dispatcher.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from ..errors import ServeError
+from .protocol import MAX_LINE, ProtocolError, send_frame
+from .store import _atomic_write
+
+__all__ = ["PoisonRegistry", "WorkerCrashed", "WorkerDied",
+           "WorkerSupervisor"]
+
+
+class WorkerDied(Exception):
+    """The worker subprocess is unusable: EOF / truncated frame /
+    hard-deadline overrun.  Internal to this module; the supervisor
+    converts it into :class:`WorkerCrashed`."""
+
+    def __init__(self, detail: str, timed_out: bool = False):
+        super().__init__(detail)
+        self.detail = detail
+        self.timed_out = timed_out
+
+
+class WorkerCrashed(Exception):
+    """A job took the worker down.  ``signature`` is stable across
+    repeat crashes of the same underlying fault (triage-normalized
+    stderr, or the exit status), which is what the poison quarantine
+    keys on."""
+
+    def __init__(self, signature: str, detail: str, exit_status: str):
+        super().__init__(f"worker crashed [{signature}]: {detail}")
+        self.signature = signature
+        self.detail = detail
+        self.exit_status = exit_status
+
+
+def _exit_status(returncode: Optional[int]) -> str:
+    if returncode is None:
+        return "unknown"
+    if returncode < 0:
+        try:
+            name = signal.Signals(-returncode).name
+        except ValueError:
+            name = str(-returncode)
+        return f"signal:{name}"
+    return f"exit:{returncode}"
+
+
+class WorkerHandle:
+    """One spawned worker subprocess and its frame channel."""
+
+    def __init__(self, cache_dir: Optional[str],
+                 stderr_passthrough: bool = True):
+        argv = [sys.executable, "-m", "repro.serve.worker"]
+        if cache_dir:
+            argv += ["--cache-dir", cache_dir]
+        self.proc = subprocess.Popen(
+            argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, env=self._env())
+        self._buf = b""
+        self._stderr_tail: "deque[bytes]" = deque(maxlen=200)
+        self._stderr_passthrough = stderr_passthrough
+        self._stderr_thread = threading.Thread(
+            target=self._pump_stderr, name="worker-stderr", daemon=True)
+        self._stderr_thread.start()
+
+    @staticmethod
+    def _env() -> Dict[str, str]:
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (src_dir if not existing
+                             else src_dir + os.pathsep + existing)
+        return env
+
+    def _pump_stderr(self) -> None:
+        try:
+            for line in self.proc.stderr:
+                self._stderr_tail.append(line)
+                if self._stderr_passthrough:
+                    sys.stderr.buffer.write(line)
+                    sys.stderr.buffer.flush()
+        except (OSError, ValueError):
+            pass
+
+    def stderr_tail(self) -> str:
+        return b"".join(self._stderr_tail).decode("utf-8", "replace")
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    # -- framed request/response ---------------------------------------------
+
+    def request(self, message: Dict,
+                timeout_s: Optional[float] = None) -> Dict:
+        deadline = (time.monotonic() + timeout_s
+                    if timeout_s is not None else None)
+        try:
+            send_frame(self.proc.stdin, message)
+        except (OSError, ValueError, ProtocolError) as e:
+            raise WorkerDied(f"request write failed: {e}")
+        return self._recv_frame(deadline)
+
+    def _recv_frame(self, deadline: Optional[float]) -> Dict:
+        header = self._read_exact(4, deadline)
+        if not header:
+            raise WorkerDied("worker closed its pipe (EOF)")
+        if len(header) < 4:
+            raise WorkerDied("half-written frame header (died mid-write)")
+        length = int.from_bytes(header, "big")
+        if length > MAX_LINE:
+            raise WorkerDied(f"oversized frame ({length} bytes)")
+        body = self._read_exact(length, deadline)
+        if len(body) < length:
+            raise WorkerDied(f"half-written frame body "
+                             f"({len(body)} of {length} bytes)")
+        import json
+
+        try:
+            msg = json.loads(body)
+        except ValueError as e:
+            raise WorkerDied(f"garbage frame from worker: {e}")
+        if not isinstance(msg, dict):
+            raise WorkerDied("worker frame is not a JSON object")
+        return msg
+
+    def _read_exact(self, n: int, deadline: Optional[float]) -> bytes:
+        fd = self.proc.stdout.fileno()
+        while len(self._buf) < n:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise WorkerDied(
+                        "worker exceeded the hard job deadline",
+                        timed_out=True)
+                wait = min(0.2, remaining)
+            else:
+                wait = 0.2
+            ready, _, _ = select.select([fd], [], [], wait)
+            if not ready:
+                continue
+            chunk = os.read(fd, 1 << 16)
+            if not chunk:
+                break  # EOF: the caller decides if that is clean
+            self._buf += chunk
+        out, self._buf = self._buf[:n], self._buf[n:]
+        return out
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+
+    def reap(self, timeout_s: float = 5.0) -> Optional[int]:
+        try:
+            return self.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            return None
+
+    def close(self, graceful: bool = True,
+              grace_s: float = 2.0) -> Optional[int]:
+        """Shut the worker down: ``exit`` frame, then escalate through
+        terminate/kill.  Returns the exit code when reaped."""
+        if graceful and self.alive():
+            try:
+                send_frame(self.proc.stdin, {"op": "exit"})
+                self.proc.stdin.close()
+            except (OSError, ValueError, ProtocolError):
+                pass
+            if self.reap(grace_s) is not None:
+                return self.proc.returncode
+        if self.alive():
+            try:
+                self.proc.terminate()
+            except OSError:
+                pass
+            if self.reap(grace_s) is None:
+                self.kill()
+                self.reap(grace_s)
+        for stream in (self.proc.stdin, self.proc.stdout):
+            try:
+                if stream:
+                    stream.close()
+            except OSError:
+                pass
+        return self.proc.returncode
+
+
+class WorkerSupervisor:
+    """Owns the (single) worker subprocess: spawn, ping-verify, restart
+    with backoff, classify deaths into stable crash signatures."""
+
+    #: Generous ceiling for spawn + interpreter/numpy import + ping.
+    SPAWN_PING_TIMEOUT_S = 120.0
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 backoff_base_s: float = 0.05, backoff_cap_s: float = 5.0,
+                 backoff_seed: Optional[int] = None,
+                 stderr_passthrough: bool = True):
+        from ..supervisor.restart import RestartPolicy
+
+        self.cache_dir = cache_dir
+        self.policy = RestartPolicy(base_s=backoff_base_s,
+                                    cap_s=backoff_cap_s,
+                                    seed=backoff_seed)
+        self._stderr_passthrough = stderr_passthrough
+        self._lock = threading.Lock()
+        self._handle: Optional[WorkerHandle] = None
+        self._next_spawn_at = 0.0
+        self._closing = False
+        self.spawns = 0
+        self.restarts = 0
+        self.crashes = 0
+        self.last_exit: Optional[str] = None
+        self.last_signature: Optional[str] = None
+        self.worker_stats: Dict = {}
+        self.incidents: List[str] = []
+
+    # -- spawning -------------------------------------------------------------
+
+    def ensure_started(self) -> None:
+        """Eagerly spawn + ping the worker (best effort: a failure here
+        is retried on the first job)."""
+        try:
+            with self._lock:
+                self._ensure_worker()
+        except (ServeError, WorkerDied):
+            pass
+
+    def _ensure_worker(self) -> WorkerHandle:
+        if self._closing:
+            raise ServeError("supervisor is shutting down")
+        if self._handle is not None and self._handle.alive():
+            return self._handle
+        delay = self._next_spawn_at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        handle = WorkerHandle(self.cache_dir, self._stderr_passthrough)
+        self.spawns += 1
+        try:
+            reply = handle.request({"op": "ping"},
+                                   timeout_s=self.SPAWN_PING_TIMEOUT_S)
+        except WorkerDied as e:
+            status = _exit_status(handle.close(graceful=False))
+            raise ServeError(
+                f"analysis worker failed to start ({status}): {e.detail}; "
+                f"stderr: {handle.stderr_tail()[-500:]!r}")
+        if not reply.get("ok"):
+            handle.close(graceful=False)
+            raise ServeError(f"analysis worker ping failed: {reply!r}")
+        self._handle = handle
+        return handle
+
+    # -- dispatch -------------------------------------------------------------
+
+    def run_job(self, job, defaults: Dict,
+                hard_timeout_s: Optional[float] = None) -> Dict:
+        """Run one job on the worker; returns the worker's envelope.
+        Raises :class:`WorkerCrashed` when the worker dies under the
+        job (the caller decides about retry and quarantine)."""
+        with self._lock:
+            handle = self._ensure_worker()
+            try:
+                reply = handle.request(dict(job.to_wire(),
+                                            defaults=defaults),
+                                       timeout_s=hard_timeout_s)
+            except WorkerDied as e:
+                raise self._crashed(handle, e)
+            self.policy.reset()
+            stats = reply.pop("worker_stats", None)
+            if stats:
+                self.worker_stats = stats
+            return reply
+
+    def _crashed(self, handle: WorkerHandle, died: WorkerDied
+                 ) -> WorkerCrashed:
+        """Classify a worker death, pace the next respawn, and build
+        the WorkerCrashed for the caller.  Called with the lock held."""
+        if died.timed_out:
+            handle.kill()
+        stderr = handle.stderr_tail()
+        status = _exit_status(handle.close(graceful=False))
+        if died.timed_out:
+            signature = "worker-timeout|hard-deadline|"
+        else:
+            from ..fuzz.triage import crash_signature
+
+            signature = crash_signature(stderr)
+            if signature.startswith("UnknownError|?|"):
+                signature = f"worker-exit|{status}|"
+        self._handle = None
+        self.crashes += 1
+        self.restarts += 1
+        self.last_exit = status
+        self.last_signature = signature
+        self._next_spawn_at = time.monotonic() + self.policy.next_delay()
+        incident = (f"worker-crash: {status} [{signature}] — {died.detail}")
+        self.incidents.append(incident)
+        print(f"astree-repro serve: {incident}", file=sys.stderr,
+              flush=True)
+        return WorkerCrashed(signature, died.detail, status)
+
+    # -- control --------------------------------------------------------------
+
+    def abort_current(self) -> None:
+        """Kill the worker out from under a blocked dispatch (drain
+        escalation).  Lock-free on purpose — see the module docstring."""
+        handle = self._handle
+        if handle is not None:
+            handle.kill()
+
+    def request_stats(self) -> Optional[Dict]:
+        """Live worker cache stats, if the worker is idle (non-blocking
+        try-lock: a stats op must never queue behind a long job)."""
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            if self._handle is None or not self._handle.alive():
+                return None
+            try:
+                reply = self._handle.request({"op": "stats"}, timeout_s=10.0)
+            except WorkerDied:
+                return None
+            stats = reply.get("worker_stats")
+            if stats:
+                self.worker_stats = stats
+            return stats
+        finally:
+            self._lock.release()
+
+    def shutdown(self) -> None:
+        self._closing = True
+        handle = self._handle
+        self._handle = None
+        if handle is not None:
+            handle.close(graceful=True)
+
+    def health(self) -> Dict:
+        handle = self._handle
+        return {
+            "mode": "subprocess",
+            "alive": bool(handle is not None and handle.alive()),
+            "pid": handle.proc.pid if handle is not None else None,
+            "spawns": self.spawns,
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "last_exit": self.last_exit,
+            "last_crash_signature": self.last_signature,
+        }
+
+    def cache_stats(self) -> Dict:
+        return self.request_stats() or self.worker_stats or {}
+
+
+class PoisonRegistry:
+    """Quarantine for jobs that reproducibly kill workers.
+
+    Crash counts are keyed by (request key, crash signature); a key
+    whose signature reaches two crashes is *poisoned* and answered with
+    a structured error without touching a worker.  A successful
+    ``bypass_cache`` run of the key clears it (the operator's way to
+    re-admit a fixed input).  State persists as one atomic JSON file so
+    a poisoned job cannot crash-loop a freshly restarted daemon."""
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 poison_threshold: int = 2):
+        self.poison_threshold = poison_threshold
+        self._path = (os.path.join(cache_dir, "quarantine", "poisoned.json")
+                      if cache_dir else None)
+        self._lock = threading.Lock()
+        self._crashes: Dict[str, Dict[str, int]] = {}
+        self._poisoned: Dict[str, Dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if self._path is None or not os.path.exists(self._path):
+            return
+        try:
+            import json
+
+            with open(self._path, "rb") as f:
+                data = json.loads(f.read().decode())
+            self._crashes = {str(k): {str(s): int(n)
+                                      for s, n in dict(v).items()}
+                             for k, v in dict(
+                                 data.get("crashes", {})).items()}
+            self._poisoned = {str(k): dict(v) for k, v in dict(
+                data.get("poisoned", {})).items()}
+        except (OSError, ValueError, TypeError, AttributeError):
+            self._crashes, self._poisoned = {}, {}  # corrupt: start clean
+
+    def flush(self) -> None:
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if self._path is None:
+            return
+        import json
+
+        data = {"crashes": self._crashes, "poisoned": self._poisoned}
+        try:
+            _atomic_write(self._path,
+                          (json.dumps(data, indent=1, sort_keys=True)
+                           + "\n").encode())
+        except OSError:
+            pass  # quarantine persistence is best-effort
+
+    def check(self, request_key: str) -> Optional[Dict]:
+        with self._lock:
+            entry = self._poisoned.get(request_key)
+            return dict(entry) if entry else None
+
+    def record_crash(self, request_key: str, signature: str) -> int:
+        """Count one crash; returns the new count for this (key,
+        signature) pair."""
+        with self._lock:
+            per_key = self._crashes.setdefault(request_key, {})
+            per_key[signature] = per_key.get(signature, 0) + 1
+            count = per_key[signature]
+            self._flush_locked()
+            return count
+
+    def mark_poisoned(self, request_key: str, signature: str) -> Dict:
+        with self._lock:
+            count = self._crashes.get(request_key, {}).get(signature, 0)
+            entry = {"signature": signature, "crashes": count}
+            self._poisoned[request_key] = entry
+            self._flush_locked()
+            return dict(entry)
+
+    def clear(self, request_key: str) -> None:
+        with self._lock:
+            self._crashes.pop(request_key, None)
+            self._poisoned.pop(request_key, None)
+            self._flush_locked()
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._poisoned)
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {
+                "poisoned": len(self._poisoned),
+                "keys_with_crashes": len(self._crashes),
+                "signatures": sorted(
+                    {e["signature"] for e in self._poisoned.values()}),
+            }

@@ -1,0 +1,258 @@
+"""The analysis worker: job execution out of the daemon's process.
+
+``python -m repro.serve.worker`` is the supervised subprocess the
+daemon dispatches jobs to (see repro.serve.supervise).  It owns the
+*warm* per-process analysis state — value intern pool, octagon closure
+memo, frontend cache, the journal store the cross-run cache replays —
+so a worker that dies takes one job's warmth with it, never the daemon,
+its exact-result store, or its accepted queue.  The channel is
+length-prefixed JSON frames (repro.serve.protocol) on stdin/stdout:
+the real stdout fd is claimed for frames before any analysis code runs
+and fd 1 is re-pointed at stderr, so a stray ``print`` in analysis code
+can never corrupt the framing.
+
+Frame ops: ``run`` (a job; replies with the result envelope — analysis
+*errors* are caught and returned as ``ok: false`` envelopes, only a
+process death is a crash), ``ping``, ``stats``, ``exit``.
+
+:class:`JobExecutor` is the actual pipeline (frontend cache ->
+cross-run fixpoint cache -> analysis -> journal harvest); the daemon
+reuses it in-process under ``--no-isolate-jobs``, and the exact-result
+layer stays in the daemon either way.
+
+Chaos fault-injection hooks (tests/CI only), all deterministic:
+
+* ``REPRO_FAULT_SERVE_WORKER_CRASH=<marker>`` — the first ``run`` to
+  claim the marker file (by unlinking it) SIGKILLs the worker mid-job;
+* ``REPRO_FAULT_SERVE_POISON_SUBSTR=<text>`` — every ``run`` whose
+  sources contain the text SIGKILLs the worker (a reliably
+  worker-killing job, which the daemon must quarantine);
+* ``REPRO_FAULT_SERVE_TRUNCATE_FRAME=<marker>`` — the first ``run`` to
+  claim the marker writes only half of its response frame and exits
+  (a half-written protocol frame, which the daemon must classify as a
+  worker death, not mis-parse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import struct
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .cache import CrossRunCache, FrontendCache
+from .fingerprints import result_digest, result_payload, source_digest
+from .jobs import effective_config
+from .protocol import ProtocolError, recv_frame, send_frame
+from .store import JournalStore
+
+__all__ = ["JobExecutor", "InProcessExecutor", "main"]
+
+
+class JobExecutor:
+    """One worker's warm job pipeline: frontend cache, journal store,
+    cross-run fixpoint cache, per-job supervisor budgets.  The
+    exact-result store is *not* consulted here — the parent daemon
+    answers exact hits without involving a worker at all."""
+
+    def __init__(self, cache_dir: Optional[str] = None, base_config=None):
+        from ..config import AnalyzerConfig
+
+        self.base_config = base_config or AnalyzerConfig()
+        self.journals = JournalStore(cache_dir)
+        self.frontend = FrontendCache()
+        self.jobs_run = 0
+        self.journal_harvests = 0
+
+    def run(self, msg: Dict) -> Dict:
+        """Execute one ``run`` frame; always returns an envelope.
+        Analysis failures are ``ok: false`` envelopes — raising is
+        reserved for protocol-level bugs."""
+        job_id = str(msg.get("job_id", "?"))
+        try:
+            return self._run(job_id, msg)
+        except Exception as e:  # analysis failure -> failed-job envelope
+            return {"ok": False, "job_id": job_id,
+                    "error": f"{type(e).__name__}: {e}",
+                    "worker_stats": self.stats()}
+
+    def _run(self, job_id: str, msg: Dict) -> Dict:
+        from ..analysis import analyze_program
+        from ..frontend import compile_source, link_sources
+
+        t0 = time.perf_counter()
+        self.jobs_run += 1
+        sources: List[Tuple[str, str]] = [
+            (str(n), str(t)) for n, t in msg["sources"]]
+        entry = str(msg.get("entry", "main"))
+        bypass = bool(msg.get("bypass_cache", False))
+        defaults = msg.get("defaults") or {}
+        cfg = effective_config(self.base_config,
+                               msg.get("config_overrides") or {},
+                               defaults.get("deadline_s"),
+                               defaults.get("rss_kib"))
+        src_digest = source_digest(sources)
+
+        prog = self.frontend.get(src_digest, entry)
+        parse_s = 0.0
+        if prog is None:
+            p0 = time.perf_counter()
+            if len(sources) == 1:
+                name, text = sources[0]
+                prog = compile_source(text, name, entry=entry)
+            else:
+                prog = link_sources(list(sources), entry=entry)
+            parse_s = time.perf_counter() - p0
+            self.frontend.put(src_digest, entry, prog)
+
+        cross_run = None
+        if cfg.incremental and not cfg.trace and not bypass:
+            cross_run = CrossRunCache(journal_store=self.journals)
+        result = analyze_program(prog, cfg, parse_seconds=parse_s,
+                                 cross_run=cross_run)
+
+        payload = result_payload(result)
+        harvested = (cross_run is not None
+                     and cross_run.store_harvest(result))
+        if harvested:
+            self.journal_harvests += 1
+        return {
+            "ok": True, "job_id": job_id, "cached": False,
+            "digest": result_digest(payload), "result": payload,
+            "wall_s": time.perf_counter() - t0,
+            "degraded": bool(result.degraded), "harvested": harvested,
+            "worker_stats": self.stats(),
+        }
+
+    def stats(self) -> Dict:
+        from ..domains.octagon import closure_memo_stats
+
+        ch, csize, cev = closure_memo_stats()
+        return {
+            "pid": os.getpid(),
+            "jobs_run": self.jobs_run,
+            "frontend_cache": self.frontend.stats(),
+            "journal_store": self.journals.stats(),
+            "closure_memo": {"hits": ch, "entries": csize,
+                             "evictions": cev},
+        }
+
+
+class InProcessExecutor:
+    """The ``--no-isolate-jobs`` fallback: the same :class:`JobExecutor`
+    pipeline run inside the daemon process (no crash isolation — a hard
+    worker death takes the daemon with it).  Presents the supervisor's
+    interface so the server code has a single dispatch path."""
+
+    def __init__(self, cache_dir: Optional[str] = None, base_config=None):
+        self._executor = JobExecutor(cache_dir, base_config)
+
+    def ensure_started(self) -> None:
+        pass
+
+    def run_job(self, job, defaults: Dict,
+                hard_timeout_s: Optional[float] = None) -> Dict:
+        return self._executor.run(dict(job.to_wire(), defaults=defaults))
+
+    def abort_current(self) -> None:
+        pass  # nothing to kill without a subprocess
+
+    def shutdown(self) -> None:
+        pass
+
+    def health(self) -> Dict:
+        return {"mode": "in-process", "alive": True, "pid": os.getpid(),
+                "restarts": 0, "spawns": 0, "last_exit": None}
+
+    def cache_stats(self) -> Dict:
+        return self._executor.stats()
+
+
+# -- chaos fault-injection hooks (worker subprocess only) ---------------------
+
+
+def _claim_marker(env_name: str) -> bool:
+    """One-shot trigger: true iff the env var names a file this call
+    unlinked (the same claim-by-unlink discipline as
+    REPRO_FAULT_WORKER_CRASH, so concurrent workers fire it once)."""
+    marker = os.environ.get(env_name)
+    if not marker:
+        return False
+    try:
+        os.unlink(marker)
+    except OSError:
+        return False
+    return True
+
+
+def _chaos_before_run(msg: Dict) -> None:
+    if _claim_marker("REPRO_FAULT_SERVE_WORKER_CRASH"):
+        print("ChaosWorkerKillError: injected worker kill (mid-job)",
+              file=sys.stderr, flush=True)
+        os.kill(os.getpid(), signal.SIGKILL)
+    substr = os.environ.get("REPRO_FAULT_SERVE_POISON_SUBSTR")
+    if substr and any(substr in text
+                      for _, text in msg.get("sources", [])):
+        print("ChaosPoisonError: injected poison crash",
+              file=sys.stderr, flush=True)
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _chaos_send(out, reply: Dict) -> None:
+    if _claim_marker("REPRO_FAULT_SERVE_TRUNCATE_FRAME"):
+        data = json.dumps(reply, separators=(",", ":")).encode()
+        frame = struct.pack(">I", len(data)) + data
+        out.write(frame[:max(1, len(frame) // 2)])
+        out.flush()
+        print("ChaosTruncatedFrameError: injected half-written frame",
+              file=sys.stderr, flush=True)
+        os._exit(1)
+    send_frame(out, reply)
+
+
+# -- worker entry point -------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.serve.worker")
+    parser.add_argument("--cache-dir", default=None)
+    args = parser.parse_args(argv)
+
+    # Claim the frame channel before anything can print to it: frames go
+    # to the original stdout, fd 1 becomes a clone of stderr.
+    out = os.fdopen(os.dup(1), "wb")
+    os.dup2(2, 1)
+    sys.stdout = sys.stderr
+    inp = os.fdopen(os.dup(0), "rb")
+
+    executor = JobExecutor(args.cache_dir)
+    while True:
+        try:
+            msg = recv_frame(inp)
+        except ProtocolError as e:
+            print(f"serve-worker: bad frame from daemon: {e}",
+                  file=sys.stderr, flush=True)
+            return 1
+        if msg is None:
+            return 0  # daemon closed our stdin: clean shutdown
+        op = msg.get("op")
+        if op == "exit":
+            return 0
+        if op == "ping":
+            send_frame(out, {"ok": True, "pid": os.getpid()})
+        elif op == "stats":
+            send_frame(out, {"ok": True, "worker_stats": executor.stats()})
+        elif op == "run":
+            _chaos_before_run(msg)
+            _chaos_send(out, executor.run(msg))
+        else:
+            send_frame(out, {"ok": False,
+                             "error": f"unknown worker op: {op!r}"})
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

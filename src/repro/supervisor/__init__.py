@@ -14,6 +14,9 @@ soundness.  This package supplies the machinery:
   :class:`~repro.analysis.AnalysisResult`;
 * :mod:`.checkpoint` — iteration-boundary checkpoints and bit-identical
   resume;
+* :mod:`.restart` — seeded exponential-backoff-plus-jitter pacing for
+  restarting crashed workers (used by the serving layer's out-of-process
+  worker supervision);
 * :mod:`.supervisor` — the :class:`Supervisor` façade the iterator and
   the parallel engine report into.
 """
@@ -22,6 +25,7 @@ from .budget import peak_rss_kib
 from .checkpoint import Checkpoint, load_checkpoint, write_checkpoint
 from .degradation import DEGRADATION_RUNGS, DegradationLadder
 from .incidents import Incident, IncidentLog
+from .restart import RestartPolicy
 from .supervisor import Supervisor
 
 __all__ = [
@@ -30,6 +34,7 @@ __all__ = [
     "DegradationLadder",
     "Incident",
     "IncidentLog",
+    "RestartPolicy",
     "Supervisor",
     "load_checkpoint",
     "peak_rss_kib",

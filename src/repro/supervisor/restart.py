@@ -1,0 +1,45 @@
+"""Restart pacing for supervised workers: exponential backoff + jitter.
+
+Restarting a crashed worker immediately invites a crash loop that burns
+a CPU re-dying; restarting on a fixed schedule synchronizes retries.
+:class:`RestartPolicy` produces the standard answer — exponentially
+growing delays with multiplicative jitter — from a *seeded* RNG, so a
+chaos test that pins the seed observes the exact same delay sequence on
+every run (the serving layer's determinism contract extends to its
+fault-handling timings).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["RestartPolicy"]
+
+
+class RestartPolicy:
+    """Delay schedule for restarting a repeatedly failing component.
+
+    ``next_delay()`` returns ``base * factor**failures`` capped at
+    ``cap``, stretched by up to ``jitter`` (a fraction, e.g. 0.5 adds
+    0-50%), and counts the failure.  ``reset()`` is called after a
+    success so an isolated crash does not inflate later delays.
+    """
+
+    def __init__(self, base_s: float = 0.05, cap_s: float = 5.0,
+                 factor: float = 2.0, jitter: float = 0.5,
+                 seed: Optional[int] = None):
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.factor = factor
+        self.jitter = jitter
+        self.failures = 0
+        self._rng = random.Random(seed)
+
+    def next_delay(self) -> float:
+        delay = min(self.cap_s, self.base_s * (self.factor ** self.failures))
+        self.failures += 1
+        return delay * (1.0 + self.jitter * self._rng.random())
+
+    def reset(self) -> None:
+        self.failures = 0
