@@ -1,0 +1,165 @@
+"""Microbenchmark: scalar FloatInterval lattice ops vs batched kernels.
+
+Times ``join``, ``widen`` (with the default threshold ladder) and
+``includes`` over pinned-seed random interval populations at 10, 100,
+1000 and 10000 cells, three ways per op:
+
+* ``scalar`` — a per-cell Python loop over ``FloatInterval`` methods
+  (the oracle path behind ``--no-vectorize``);
+* ``kernel`` — the batched numpy kernel over pre-gathered bound planes
+  (the steady-state cost when planes are already materialized);
+* ``e2e`` — gather the planes from interval objects, run the kernel,
+  and rebuild result ``FloatInterval`` objects (what one environment
+  merge actually pays, crossover heuristic aside).
+
+The CI perf-smoke gate reads the 1000-cell ``join`` kernel speedup from
+the JSON output (``--gate-join-1k``); see .github/workflows/ci.yml.
+
+Usage::
+
+    python benchmarks/run_env_kernels_bench.py [--out PATH]
+                                               [--gate-join-1k 2.0]
+"""
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.domains.thresholds import default_thresholds  # noqa: E402
+from repro.numeric import FloatInterval  # noqa: E402
+from repro.numeric import interval_kernels as K  # noqa: E402
+
+SEED = 2003
+SIZES = [10, 100, 1000, 10000]
+REPEATS = 7
+
+
+def make_intervals(rng: random.Random, n: int):
+    """A population shaped like real loop-head states: mostly finite
+    bounds of mixed magnitude, some half-infinite, a few top."""
+    out = []
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.05:
+            out.append(FloatInterval(-math.inf, math.inf))
+        elif r < 0.15:
+            out.append(FloatInterval(-math.inf, rng.uniform(-1e3, 1e6)))
+        elif r < 0.25:
+            out.append(FloatInterval(rng.uniform(-1e6, 1e3), math.inf))
+        else:
+            lo = rng.uniform(-1e6, 1e6) * (10.0 ** rng.randint(-3, 3))
+            out.append(FloatInterval(lo, lo + abs(rng.gauss(0, 100.0))))
+    return out
+
+
+def best_of(repeats, fn):
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_size(n: int) -> dict:
+    rng = random.Random(SEED * 100003 + n)
+    a = make_intervals(rng, n)
+    b = make_intervals(rng, n)
+    # ``includes`` must not short-circuit (that would time one
+    # iteration, not n): compare against a contained shrink of ``a``
+    # so every cell answers True and the scalar loop runs full length.
+    inner = [FloatInterval(iv.lo, iv.hi) if iv.lo == iv.hi else
+             FloatInterval(iv.lo, math.nextafter(iv.hi, iv.lo))
+             for iv in a]
+    a_lo, a_hi = K.planes(a)
+    b_lo, b_hi = K.planes(b)
+    i_lo, i_hi = K.planes(inner)
+    thresholds = default_thresholds().values
+    ladder = K.ladder_array(thresholds)
+
+    def rebuild(lo, hi):
+        return [FloatInterval(x, y) for x, y in zip(lo.tolist(), hi.tolist())]
+
+    ops = {
+        "join": {
+            "scalar": lambda: [x.join(y) for x, y in zip(a, b)],
+            "kernel": lambda: K.batch_join(a_lo, a_hi, b_lo, b_hi),
+            "e2e": lambda: rebuild(*K.batch_join(*K.planes(a), *K.planes(b))),
+        },
+        "widen": {
+            "scalar": lambda: [x.widen(y, thresholds) for x, y in zip(a, b)],
+            "kernel": lambda: K.batch_widen(a_lo, a_hi, b_lo, b_hi, ladder),
+            "e2e": lambda: rebuild(
+                *K.batch_widen(*K.planes(a), *K.planes(b), ladder)),
+        },
+        "includes": {
+            "scalar": lambda: all(x.includes(y) for x, y in zip(a, inner)),
+            "kernel": lambda: bool(
+                K.batch_includes(a_lo, a_hi, i_lo, i_hi).all()),
+            "e2e": lambda: bool(
+                K.batch_includes(*K.planes(a), *K.planes(inner)).all()),
+        },
+    }
+    row = {}
+    for op, variants in ops.items():
+        scalar_s = best_of(REPEATS, variants["scalar"])
+        kernel_s = best_of(REPEATS, variants["kernel"])
+        e2e_s = best_of(REPEATS, variants["e2e"])
+        row[op] = {
+            "scalar_s": scalar_s,
+            "kernel_s": kernel_s,
+            "e2e_s": e2e_s,
+            "kernel_speedup": round(scalar_s / max(kernel_s, 1e-12), 2),
+            "e2e_speedup": round(scalar_s / max(e2e_s, 1e-12), 2),
+        }
+    return row
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=None, metavar="PATH",
+                    help="write the result table as JSON to PATH")
+    ap.add_argument("--gate-join-1k", type=float, default=None,
+                    metavar="X",
+                    help="exit nonzero unless the 1000-cell join kernel "
+                         "speedup is at least X (the CI perf gate)")
+    args = ap.parse_args(argv)
+
+    results = {"seed": SEED, "sizes": {}}
+    print(f"{'cells':>7}  {'op':<9} {'scalar':>10} {'kernel':>10} "
+          f"{'e2e':>10} {'kernel x':>9} {'e2e x':>7}")
+    for n in SIZES:
+        row = bench_size(n)
+        results["sizes"][str(n)] = row
+        for op, r in row.items():
+            print(f"{n:7d}  {op:<9} {r['scalar_s'] * 1e6:9.1f}u "
+                  f"{r['kernel_s'] * 1e6:9.1f}u {r['e2e_s'] * 1e6:9.1f}u "
+                  f"{r['kernel_speedup']:8.1f}x {r['e2e_speedup']:6.1f}x")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(results, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.gate_join_1k is not None:
+        got = results["sizes"]["1000"]["join"]["kernel_speedup"]
+        if got < args.gate_join_1k:
+            print(f"GATE FAILED: 1000-cell join kernel speedup {got:.2f}x "
+                  f"< required {args.gate_join_1k:.2f}x", file=sys.stderr)
+            return 1
+        print(f"gate ok: 1000-cell join kernel speedup {got:.2f}x "
+              f">= {args.gate_join_1k:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

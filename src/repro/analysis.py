@@ -23,6 +23,7 @@ from .iterator.iterator import Iterator
 from .iterator.state import AbstractState, AnalysisContext, LatticeMemo
 from .memory.cells import CellTable
 from .numeric import FloatInterval, IntInterval
+from .numeric import interval_kernels
 from .packing.boolean_packs import compute_bool_packs
 from .packing.ellipsoid_sites import find_filter_sites
 from .packing.octagon_packs import compute_octagon_packs
@@ -91,6 +92,15 @@ class AnalysisResult:
     stmts_skipped: int = 0
     lattice_memo_hits: int = 0
     lattice_memo_misses: int = 0
+    # Vectorized kernel feedback (repro.numeric.interval_kernels):
+    # whether the batched numpy backend was enabled, how many batched
+    # environment merges ran, how many cells they covered, and how many
+    # differing cells of engaged batches fell back to scalar ops
+    # (non-float, clocked, frozen or bottom cells).
+    vectorize: bool = True
+    vector_batches: int = 0
+    vector_cells: int = 0
+    vector_scalar_fallbacks: int = 0
     # Cross-run fixpoint cache feedback (repro.serve.cache): statements
     # seeded with donor (pre, post) journals, donor records spliced, and
     # the footprint-weighted span of those splices (a subset of
@@ -239,9 +249,18 @@ def _configure_sharing(config: AnalyzerConfig) -> None:
     is specified as a fallback to the pre-incremental engine, which had
     none of this machinery.  Disabling is always safe — the caches are
     value-preserving and only affect physical identity and wall time.
+
+    The vectorized kernel backend (``config.vectorize``) is configured
+    here too: it selects between the batched numpy kernels and the
+    scalar oracle for the environment lattice ops and the octagon
+    closure — bit-identical either way, so the parallel engine's worker
+    processes (which re-run this function, see repro.parallel.executor)
+    only need it for counter fidelity, never for correctness.
     """
-    from .domains.octagon import configure_closure_memo
+    from .domains.octagon import configure_closure_memo, configure_vectorize
+    from .memory import environment
     from .memory import interning
+    from .numeric import interval_kernels
 
     if config.incremental:
         interning.configure(config.value_intern_size)
@@ -249,6 +268,10 @@ def _configure_sharing(config: AnalyzerConfig) -> None:
     else:
         interning.configure(0)
         configure_closure_memo(0)
+    environment.configure_vectorize(config.vectorize,
+                                    config.vectorize_min_cells)
+    configure_vectorize(config.vectorize)
+    interval_kernels.reset_stats()
 
 
 def _needs_supervisor(config: AnalyzerConfig) -> bool:
@@ -333,6 +356,7 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
     elapsed = time.perf_counter() - start
     checking_seconds = max(0.0, elapsed - packing_seconds
                            - it.fixpoint_seconds)
+    _ik_stats = interval_kernels.stats()
     useful = frozenset(
         oct_packs.pack(pid).key for pid in ctx.useful_oct_packs
     )
@@ -372,6 +396,10 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
         stmts_skipped=it.stmts_skipped,
         lattice_memo_hits=ctx.lattice_memo.hits,
         lattice_memo_misses=ctx.lattice_memo.misses,
+        vectorize=config.vectorize,
+        vector_batches=_ik_stats["batches"],
+        vector_cells=_ik_stats["cells"],
+        vector_scalar_fallbacks=_ik_stats["fallbacks"],
         cross_run_seeded=0 if cross_run is None else cross_run.seeded,
         cross_run_hits=it.cross_run_hits,
         cross_run_spliced=it.cross_run_spliced,

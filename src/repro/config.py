@@ -99,6 +99,18 @@ class AnalyzerConfig:
     # iterations, so closures of already-seen matrices recur constantly.
     closure_memo_size: int = 8192
 
+    # -- vectorized lattice kernels (repro.numeric.interval_kernels) -------------
+    # Batched numpy kernels for the cell-wise FloatInterval lattice ops
+    # and the octagon closure.  Bit-identical to the scalar
+    # implementations, which remain the differential-testing oracle
+    # behind --no-vectorize; a pure performance knob, excluded from the
+    # checkpoint and serve compat fingerprints like ``incremental``.
+    vectorize: bool = True
+    # Crossover heuristic: minimum differing batchable float cells in
+    # one environment merge before the batched kernel path engages
+    # (below it, per-cell scalar ops beat the numpy call overhead).
+    vectorize_min_cells: int = 16
+
     # -- parallel engine ---------------------------------------------------------
     # Number of analysis worker processes.  1 (the default) runs the
     # exact sequential path; N > 1 partitions independent work units

@@ -31,7 +31,8 @@ import numpy as np
 from ..numeric import FloatInterval, LinearForm
 from ..numeric.float_utils import add_up, div_up, mul_up
 
-__all__ = ["Octagon", "configure_closure_memo", "closure_memo_stats"]
+__all__ = ["Octagon", "closure_memo_stats", "configure_closure_memo",
+           "configure_vectorize", "vectorize_enabled"]
 
 _INF = math.inf
 
@@ -87,11 +88,125 @@ def closure_memo_stats() -> Tuple[int, int, int]:
     return _CLOSURE_HITS, len(_CLOSURE_MEMO), _CLOSURE_EVICTIONS
 
 
+# Closure kernel backend (see repro.numeric.interval_kernels for the
+# contract): the numpy kernel is the default; ``--no-vectorize`` swaps
+# in the pure-Python scalar oracle, which replicates the numpy kernel's
+# operations — additions, one-ulp nudges, minimum picks — element by
+# element in the same order, so the two backends are bit-identical and
+# the knob stays out of every fingerprint.
+_VECTORIZE = True
+
+
+def configure_vectorize(enabled: bool) -> None:
+    """Select the closure kernel backend for this process: numpy
+    (default) or the scalar differential oracle."""
+    global _VECTORIZE
+    _VECTORIZE = bool(enabled)
+
+
+def vectorize_enabled() -> bool:
+    return _VECTORIZE
+
+
 def _nudge_up(a: np.ndarray) -> np.ndarray:
     """One-ulp upward nudge of every finite entry (soundness of + on reals)."""
     out = np.nextafter(a, _INF)
     out[np.isinf(a)] = a[np.isinf(a)]
     return out
+
+
+def _closed_matrix(m0: np.ndarray, n: int) -> np.ndarray:
+    """The numpy closure kernel: Floyd-Warshall over the doubled graph
+    with upward rounding, then octagonal strengthening.  Returns the
+    tightened matrix; the caller decides bottom vs closed."""
+    m = m0.copy()
+    size = 2 * n
+    for k in range(n):
+        for kk in (2 * k, 2 * k + 1):
+            # Floyd-Warshall step through node kk, rounding up.
+            col = m[:, kk:kk + 1]
+            row = m[kk:kk + 1, :]
+            via = _nudge_up(col + row)
+            np.minimum(m, via, out=m)
+        # Combined path through both 2k and 2k+1.
+        a = m[:, 2 * k:2 * k + 1] + m[2 * k, 2 * k + 1]
+        b = m[2 * k + 1:2 * k + 2, :]
+        via2 = _nudge_up(_nudge_up(a) + b)
+        np.minimum(m, via2, out=m)
+        a = m[:, 2 * k + 1:2 * k + 2] + m[2 * k + 1, 2 * k]
+        b = m[2 * k:2 * k + 1, :]
+        via3 = _nudge_up(_nudge_up(a) + b)
+        np.minimum(m, via3, out=m)
+    # Strengthening: m[i][j] <= (m[i][bar i] + m[bar j][j]) / 2.
+    bar = _bar_indices(size)
+    diag_i = m[np.arange(size), bar][:, None]  # m[i][bar i]
+    diag_j = m[bar, np.arange(size)][None, :]  # m[bar j][j]
+    half = _nudge_up(_nudge_up(diag_i + diag_j) / 2.0)
+    np.minimum(m, half, out=m)
+    return m
+
+
+def _closed_matrix_scalar(m0: np.ndarray, n: int) -> np.ndarray:
+    """Pure-Python mirror of :func:`_closed_matrix` — the scalar oracle
+    behind ``--no-vectorize``.
+
+    Bit-identity is by construction: every numpy operation of the
+    vectorized kernel is replayed element-wise with the same operand
+    reads (each ``via`` plane is materialized from the pre-update
+    matrix, exactly like the numpy temporaries), the same IEEE-754
+    scalar operations (``math.nextafter`` ≡ ``np.nextafter``), and
+    ``np.minimum``'s exact pick semantics (NaN from either operand
+    propagates; ties — signed zeros included — keep the first operand).
+    """
+    inf = _INF
+
+    def nudge(x: float) -> float:
+        # _nudge_up: nextafter toward +inf, ±inf restored, NaN kept.
+        if x == inf or x == -inf:
+            return x
+        return math.nextafter(x, inf)
+
+    def min2(cur: float, new: float) -> float:
+        # np.minimum(cur, new): NaN propagates, ties keep ``cur``.
+        if new != new:
+            return new
+        return new if new < cur else cur
+
+    size = 2 * n
+    m = m0.tolist()
+    for k in range(n):
+        for kk in (2 * k, 2 * k + 1):
+            col = [m[i][kk] for i in range(size)]
+            row = list(m[kk])
+            for i in range(size):
+                ci = col[i]
+                mi = m[i]
+                for j in range(size):
+                    mi[j] = min2(mi[j], nudge(ci + row[j]))
+        c01 = m[2 * k][2 * k + 1]
+        a = [nudge(m[i][2 * k] + c01) for i in range(size)]
+        b = list(m[2 * k + 1])
+        for i in range(size):
+            ai = a[i]
+            mi = m[i]
+            for j in range(size):
+                mi[j] = min2(mi[j], nudge(ai + b[j]))
+        c10 = m[2 * k + 1][2 * k]
+        a = [nudge(m[i][2 * k + 1] + c10) for i in range(size)]
+        b = list(m[2 * k])
+        for i in range(size):
+            ai = a[i]
+            mi = m[i]
+            for j in range(size):
+                mi[j] = min2(mi[j], nudge(ai + b[j]))
+    diag_i = [m[i][i ^ 1] for i in range(size)]
+    diag_j = [m[j ^ 1][j] for j in range(size)]
+    for i in range(size):
+        di = diag_i[i]
+        mi = m[i]
+        for j in range(size):
+            mi[j] = min2(mi[j], nudge(nudge(di + diag_j[j]) / 2.0))
+    return np.array(m, dtype=np.float64)
 
 
 def _set2(m: np.ndarray, i: int, j: int, c: float) -> None:
@@ -189,30 +304,10 @@ class Octagon:
                 self._closed_cache = cached
                 return cached
         Octagon.closure_computations += 1
-        m = self.m.copy()
-        size = 2 * self.n
-        for k in range(self.n):
-            for kk in (2 * k, 2 * k + 1):
-                # Floyd-Warshall step through node kk, rounding up.
-                col = m[:, kk:kk + 1]
-                row = m[kk:kk + 1, :]
-                via = _nudge_up(col + row)
-                np.minimum(m, via, out=m)
-            # Combined path through both 2k and 2k+1.
-            a = m[:, 2 * k:2 * k + 1] + m[2 * k, 2 * k + 1]
-            b = m[2 * k + 1:2 * k + 2, :]
-            via2 = _nudge_up(_nudge_up(a) + b)
-            np.minimum(m, via2, out=m)
-            a = m[:, 2 * k + 1:2 * k + 2] + m[2 * k + 1, 2 * k]
-            b = m[2 * k:2 * k + 1, :]
-            via3 = _nudge_up(_nudge_up(a) + b)
-            np.minimum(m, via3, out=m)
-        # Strengthening: m[i][j] <= (m[i][bar i] + m[bar j][j]) / 2.
-        bar = _bar_indices(size)
-        diag_i = m[np.arange(size), bar][:, None]  # m[i][bar i]
-        diag_j = m[bar, np.arange(size)][None, :]  # m[bar j][j]
-        half = _nudge_up(_nudge_up(diag_i + diag_j) / 2.0)
-        np.minimum(m, half, out=m)
+        if _VECTORIZE:
+            m = _closed_matrix(self.m, self.n)
+        else:
+            m = _closed_matrix_scalar(self.m, self.n)
         if np.any(np.diagonal(m) < 0.0):
             out = Octagon.make_bottom(self.n)
         else:

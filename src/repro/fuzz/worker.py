@@ -36,7 +36,7 @@ __all__ = ["execute_spec", "run_built_case", "main"]
 #: ``spec.analyzer`` is rejected so corpus files can't silently no-op).
 _ANALYZER_OVERRIDES = frozenset({
     "wall_deadline_s", "rss_limit_kib", "stmt_timeout_s", "jobs",
-    "incremental", "widening_delay", "expand_threshold",
+    "incremental", "widening_delay", "expand_threshold", "vectorize",
 })
 
 
@@ -66,13 +66,34 @@ def run_built_case(built: BuiltCase) -> Dict:
     prog = result.ctx.prog
     oracle = run_oracle(prog, result, built.input_ranges, spec.case_seed,
                         streams=spec.streams, max_ticks=spec.max_ticks)
+    vectorize_differential = None
+    if spec.analyzer.get("vectorize") is False:
+        # Differential oracle for the vectorized kernels: this case ran
+        # on the scalar-oracle backend; re-analyze with the batched
+        # numpy kernels and demand a bit-identical verdict.  Any drift
+        # is an unsoundness-grade finding (one backend must be wrong).
+        vec_cfg = _analyzer_config(spec, built)
+        vec_cfg.vectorize = True
+        vec = analyze(built.source, filename=f"<{spec.case_id}>",
+                      config=vec_cfg)
+        identical = (
+            [(a.kind, a.loc.line, a.message) for a in result.alarms]
+            == [(a.kind, a.loc.line, a.message) for a in vec.alarms]
+            and result.alarm_count == vec.alarm_count
+            and result.exit_code == vec.exit_code
+            and result.widening_iterations == vec.widening_iterations
+        )
+        vectorize_differential = {"identical": identical}
     if result.degraded:
         outcome = "degraded"
     elif not oracle.sound:
         outcome = "unsound"
+    elif vectorize_differential is not None \
+            and not vectorize_differential["identical"]:
+        outcome = "unsound"
     else:
         outcome = "sound"
-    return {
+    payload = {
         "outcome": outcome,
         "case_id": spec.case_id,
         "analysis_exit_code": result.exit_code,
@@ -88,6 +109,9 @@ def run_built_case(built: BuiltCase) -> Dict:
             built.source.encode("utf-8")).hexdigest(),
         "source_lines": built.source.count("\n"),
     }
+    if vectorize_differential is not None:
+        payload["vectorize_differential"] = vectorize_differential
+    return payload
 
 
 def execute_spec(spec: CaseSpec) -> Dict:

@@ -771,6 +771,11 @@ class Iterator:
                 target = entry.join(after)
                 if inv.includes(target):
                     break
+                # Threshold-free widening bypasses the timed AbstractState
+                # wrappers (it constructs the state directly), so book its
+                # wall time to the lattice phase by hand — otherwise it
+                # silently inflates iteration-transfer in --stats.
+                t0 = time.perf_counter()
                 inv = AbstractState(
                     inv.ctx,
                     inv.env.widen(target.env, None),
@@ -787,6 +792,7 @@ class Iterator:
                                          missing_self=lambda k, y: y,
                                          missing_other=lambda k, x: x),
                 )
+                self.ctx.lattice_seconds += time.perf_counter() - t0
             else:
                 from ..errors import AnalysisError
 

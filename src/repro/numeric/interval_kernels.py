@@ -1,0 +1,232 @@
+"""Batched FloatInterval lattice kernels over parallel numpy bound planes.
+
+The cell-wise environment lattice (Sect. 6.1) spends its time in tiny
+per-cell :class:`~repro.numeric.intervals.FloatInterval` operations.
+When two environments differ on many float cells at once — wide loop-head
+joins, threshold widening after a big iteration step — the per-cell
+Python dispatch dominates.  This module provides the batched
+counterparts: each kernel takes the gathered ``lo``/``hi`` float64
+planes of the two operand environments and produces the result planes
+in a handful of numpy operations.
+
+Bit-identity contract
+---------------------
+
+Every kernel is **bit-identical** to the scalar implementation it
+replaces, which stays in ``numeric/intervals.py`` as the differential
+oracle (``--no-vectorize``).  That property is what lets the
+``vectorize`` knob stay out of the checkpoint and serve compat
+fingerprints (like ``incremental``), and what keeps incremental slicing
+and serve-mode donor replay exact across the two backends.
+
+The scalar lattice ops are pure *picks*: a join selects one of the two
+existing bounds, a widening selects a rung of the shared threshold
+ladder.  No new floating values are computed, so — unlike the octagon
+DBM kernels, whose additions need an outward ``nextafter`` nudge — these
+kernels need no directed rounding of their own; the rounding discipline
+lives in the bounds they select from, which were produced by the
+outward-rounded interval arithmetic.  Preserving bit-identity is then a
+matter of replicating Python's exact pick semantics:
+
+* ``min(a, b)`` keeps the *first* argument unless ``b < a`` — on a
+  signed-zero tie (``-0.0`` vs ``0.0``) or against a NaN the first
+  argument survives.  ``np.minimum``/``np.maximum`` differ (they
+  propagate NaN and prefer a canonical zero), so the kernels use
+  explicit ``np.where(b < a, b, a)`` formulations instead.
+* NaN bounds behave as in scalar code: every comparison is false, so a
+  NaN bound never tests as empty (``lo > hi`` is false) and never wins
+  a pick.
+* The threshold lookups mirror ``bisect`` over the sorted ladder:
+  ``searchsorted(side='right') - 1`` is "largest rung <= x" and
+  ``searchsorted(side='left')`` is "smallest rung >= x", with NaN and
+  out-of-ladder inputs saturating to ∓inf exactly like the scalar
+  helpers.
+* The canonical empty interval is ``(+inf, -inf)`` and ``is_empty`` is
+  ``lo > hi``; ``FloatInterval.of`` normalization (NaN or inverted
+  bounds become empty) is replicated where the scalar path applies it
+  (meet, narrow).
+
+The counters below feed ``--stats``/``--json``/``report.py``: how many
+kernel invocations ran, how many cells they covered, and how many
+differing cells fell back to the scalar path while a batch was engaged
+(non-float cells, clocked cells, frozen widening cells).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "batch_includes", "batch_join", "batch_meet", "batch_narrow",
+    "batch_widen", "ladder_array", "note_batch", "note_fallback",
+    "planes", "reset_stats", "stats",
+]
+
+_INF = math.inf
+
+# -- counters (wired into AnalysisResult / --stats / report.py) --------------
+
+_STATS = {"batches": 0, "cells": 0, "fallbacks": 0}
+
+
+def reset_stats() -> None:
+    """Zero the per-run counters (called by ``analyze_program``)."""
+    _STATS["batches"] = 0
+    _STATS["cells"] = 0
+    _STATS["fallbacks"] = 0
+
+
+def stats() -> Dict[str, int]:
+    """Snapshot of the counters: batches, cells batched, scalar
+    fallbacks among the differing cells of engaged batches."""
+    return dict(_STATS)
+
+
+def note_batch(cells: int) -> None:
+    _STATS["batches"] += 1
+    _STATS["cells"] += cells
+
+
+def note_fallback(cells: int = 1) -> None:
+    _STATS["fallbacks"] += cells
+
+
+# -- plane gathering ---------------------------------------------------------
+
+
+def planes(intervals: Sequence) -> Tuple[np.ndarray, np.ndarray]:
+    """Gather a sequence of FloatIntervals into (lo, hi) float64 planes."""
+    n = len(intervals)
+    lo = np.fromiter((iv.lo for iv in intervals), dtype=np.float64, count=n)
+    hi = np.fromiter((iv.hi for iv in intervals), dtype=np.float64, count=n)
+    return lo, hi
+
+
+# Small identity-keyed cache for the shared threshold ladder: one
+# analysis context passes the *same* sorted list to every widening, so
+# the float64 conversion is paid once.  Strong references are fine —
+# ladders are few and live as long as their AnalysisContext.
+_LADDER_CACHE: Dict[int, Tuple[object, np.ndarray]] = {}
+
+
+def ladder_array(thresholds: Sequence[float]) -> np.ndarray:
+    """The threshold ladder as a float64 array (cached per list object)."""
+    key = id(thresholds)
+    hit = _LADDER_CACHE.get(key)
+    if hit is not None and hit[0] is thresholds:
+        return hit[1]
+    arr = np.asarray(thresholds, dtype=np.float64)
+    if len(_LADDER_CACHE) >= 8:
+        _LADDER_CACHE.clear()
+    _LADDER_CACHE[key] = (thresholds, arr)
+    return arr
+
+
+# -- kernels -----------------------------------------------------------------
+
+
+def batch_join(a_lo: np.ndarray, a_hi: np.ndarray,
+               b_lo: np.ndarray, b_hi: np.ndarray
+               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Element-wise ``FloatInterval.join``: empty yields the other
+    operand, else ``(min(a.lo, b.lo), max(a.hi, b.hi))`` with Python's
+    first-argument-wins pick semantics."""
+    a_empty = a_lo > a_hi
+    b_empty = b_lo > b_hi
+    lo = np.where(b_lo < a_lo, b_lo, a_lo)
+    hi = np.where(b_hi > a_hi, b_hi, a_hi)
+    lo = np.where(a_empty, b_lo, np.where(b_empty, a_lo, lo))
+    hi = np.where(a_empty, b_hi, np.where(b_empty, a_hi, hi))
+    return lo, hi
+
+
+def batch_meet(a_lo: np.ndarray, a_hi: np.ndarray,
+               b_lo: np.ndarray, b_hi: np.ndarray
+               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Element-wise ``FloatInterval.meet``: either empty yields empty,
+    else ``of(max(a.lo, b.lo), min(a.hi, b.hi))`` — ``of`` sends NaN or
+    inverted bounds to the canonical empty ``(+inf, -inf)``."""
+    a_empty = a_lo > a_hi
+    b_empty = b_lo > b_hi
+    lo = np.where(b_lo > a_lo, b_lo, a_lo)
+    hi = np.where(b_hi < a_hi, b_hi, a_hi)
+    empty = (a_empty | b_empty | np.isnan(lo) | np.isnan(hi) | (lo > hi))
+    lo = np.where(empty, _INF, lo)
+    hi = np.where(empty, -_INF, hi)
+    return lo, hi
+
+
+def _largest_leq_vec(ladder: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Vector mirror of ``intervals._largest_leq``: the largest rung
+    <= x, -inf when none qualifies (NaN included — no rung compares)."""
+    if ladder.size == 0:
+        return np.full_like(x, -_INF)
+    idx = np.searchsorted(ladder, x, side="right") - 1
+    out = ladder[np.maximum(idx, 0)]
+    out = np.where(idx < 0, -_INF, out)
+    return np.where(np.isnan(x), -_INF, out)
+
+
+def _smallest_geq_vec(ladder: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Vector mirror of ``intervals._smallest_geq``: the smallest rung
+    >= x, +inf when none qualifies."""
+    if ladder.size == 0:
+        return np.full_like(x, _INF)
+    idx = np.searchsorted(ladder, x, side="left")
+    out = ladder[np.minimum(idx, ladder.size - 1)]
+    out = np.where(idx >= ladder.size, _INF, out)
+    return np.where(np.isnan(x), _INF, out)
+
+
+def batch_widen(a_lo: np.ndarray, a_hi: np.ndarray,
+                b_lo: np.ndarray, b_hi: np.ndarray,
+                ladder: Optional[np.ndarray] = None
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Element-wise ``FloatInterval.widen`` with threshold ladder
+    (Sect. 7.1.2): an unstable bound jumps to the enclosing rung (or to
+    infinity without a ladder); NaN on the unstable side never triggers
+    (comparisons are false), exactly as in the scalar code."""
+    a_empty = a_lo > a_hi
+    b_empty = b_lo > b_hi
+    lo_unstable = b_lo < a_lo
+    hi_unstable = b_hi > a_hi
+    if ladder is None:
+        lo_pick = np.full_like(a_lo, -_INF)
+        hi_pick = np.full_like(a_hi, _INF)
+    else:
+        lo_pick = _largest_leq_vec(ladder, b_lo)
+        hi_pick = _smallest_geq_vec(ladder, b_hi)
+    lo = np.where(lo_unstable, lo_pick, a_lo)
+    hi = np.where(hi_unstable, hi_pick, a_hi)
+    lo = np.where(a_empty, b_lo, np.where(b_empty, a_lo, lo))
+    hi = np.where(a_empty, b_hi, np.where(b_empty, a_hi, hi))
+    return lo, hi
+
+
+def batch_narrow(a_lo: np.ndarray, a_hi: np.ndarray,
+                 b_lo: np.ndarray, b_hi: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Element-wise ``FloatInterval.narrow``: refine only infinite
+    bounds, then ``of``-normalize (the refinement can invert)."""
+    a_empty = a_lo > a_hi
+    b_empty = b_lo > b_hi
+    lo = np.where(a_lo == -_INF, b_lo, a_lo)
+    hi = np.where(a_hi == _INF, b_hi, a_hi)
+    empty = (a_empty | b_empty | np.isnan(lo) | np.isnan(hi) | (lo > hi))
+    lo = np.where(empty, _INF, lo)
+    hi = np.where(empty, -_INF, hi)
+    return lo, hi
+
+
+def batch_includes(a_lo: np.ndarray, a_hi: np.ndarray,
+                   b_lo: np.ndarray, b_hi: np.ndarray) -> np.ndarray:
+    """Element-wise ``FloatInterval.includes``: empty ``other`` is
+    always included, empty ``self`` includes nothing, else the bound
+    comparison (false against NaN, as in scalar code)."""
+    a_empty = a_lo > a_hi
+    b_empty = b_lo > b_hi
+    ok = (a_lo <= b_lo) & (b_hi <= a_hi)
+    return np.where(b_empty, True, np.where(a_empty, False, ok))

@@ -20,6 +20,7 @@ inclusion, widening (plain and with thresholds, Sect. 7.1.2) and narrowing.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
@@ -345,19 +346,31 @@ def _rounding_slack(fmt: FloatFormat, x: float) -> float:
 
 
 def _largest_leq(thresholds: Sequence[float], x: float) -> float:
-    best = -_INF
-    for t in thresholds:
-        if t <= x and t > best:
-            best = t
-    return best
+    """Largest threshold <= x.
+
+    ``thresholds`` is the shared widening ladder: sorted ascending (see
+    ``FloatInterval.widen``), so the lookup is a ``bisect`` instead of a
+    linear scan.  Degenerate inputs keep the scan's exact semantics: an
+    empty ladder or a NaN ``x`` (which no threshold compares against)
+    yield -inf.
+    """
+    if not thresholds or x != x:
+        return -_INF
+    idx = bisect.bisect_right(thresholds, x)
+    if idx == 0:
+        return -_INF
+    return thresholds[idx - 1]
 
 
 def _smallest_geq(thresholds: Sequence[float], x: float) -> float:
-    best = _INF
-    for t in thresholds:
-        if t >= x and t < best:
-            best = t
-    return best
+    """Smallest threshold >= x over the sorted ladder; +inf when none
+    qualifies (empty ladder, NaN ``x``, or x above every rung)."""
+    if not thresholds or x != x:
+        return _INF
+    idx = bisect.bisect_left(thresholds, x)
+    if idx == len(thresholds):
+        return _INF
+    return thresholds[idx]
 
 
 # ---------------------------------------------------------------------------

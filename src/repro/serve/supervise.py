@@ -127,6 +127,13 @@ class WorkerHandle:
             pass
 
     def stderr_tail(self) -> str:
+        # Only called once the worker is dead (crash classification and
+        # spawn-failure reporting).  The frame pipe can hit EOF before
+        # the pump thread has drained the worker's final flushed lines
+        # — e.g. its crash banner — so wait for the pump to reach EOF
+        # first, or the crash signature misses the banner and degrades
+        # to the exit-status fallback.
+        self._stderr_thread.join(timeout=2.0)
         return b"".join(self._stderr_tail).decode("utf-8", "replace")
 
     def alive(self) -> bool:
