@@ -82,6 +82,22 @@ class AnalysisResult:
     parallel_regions: int = 0
     parallel_tasks: int = 0
     branch_dispatches: int = 0
+    # Dispatch backend feedback (repro.parallel.backends): which backend
+    # executed the work units ("none" when no engine was attached) and
+    # its transport counters.  worker_rss_kib maps worker labels (pid-N
+    # for pool workers, the address for socket workers) to their peak
+    # RSS; fleet_peak_rss_kib is the maximum over the analyzer and every
+    # worker — socket workers are not children of the analyzer, so
+    # peak_rss_kib alone cannot see them.
+    dispatch: str = "none"
+    dispatch_jobs_dispatched: int = 0
+    dispatch_jobs_stolen: int = 0
+    dispatch_jobs_retried: int = 0
+    dispatch_bytes_shipped: int = 0
+    dispatch_workers_joined: int = 0
+    dispatch_workers_lost: int = 0
+    worker_rss_kib: Dict[str, int] = field(default_factory=dict)
+    fleet_peak_rss_kib: int = 0
     # Incremental engine feedback (repro.iterator.incremental):
     # statement executions performed vs spliced from memoized records
     # (skips are weighted by footprint span), and the hit/miss counts of
@@ -308,6 +324,11 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
     if config is None:
         config = AnalyzerConfig()
     jobs = config.jobs if jobs is None else jobs
+    if (getattr(config, "dispatch", "pool") == "socket"
+            and getattr(config, "workers", ()) and jobs <= 1):
+        # An explicit worker fleet implies parallel intent even without
+        # --jobs: size the batch width to the fleet.
+        jobs = max(2, len(config.workers))
     incidents = IncidentLog()
     sup: Optional[Supervisor] = None
     if _needs_supervisor(config):
@@ -360,6 +381,23 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
     useful = frozenset(
         oct_packs.pack(pid).key for pid in ctx.useful_oct_packs
     )
+    phases = {
+        "parse": parse_seconds,
+        "packing": packing_seconds,
+        "iteration": it.fixpoint_seconds,
+        # Split of the iteration phase: time inside AbstractState
+        # lattice ops (join/widen/narrow/includes) vs everything
+        # else (the abstract transfer functions proper).
+        "iteration-lattice": it.fixpoint_lattice_seconds,
+        "iteration-transfer": max(
+            0.0, it.fixpoint_seconds - it.fixpoint_lattice_seconds),
+        "checking": checking_seconds,
+    }
+    dstats = None if engine is None else engine.stats
+    if dstats is not None:
+        phases["dispatch-serialize"] = dstats.serialize_s
+        phases["dispatch-deserialize"] = dstats.deserialize_s
+    rss = _peak_rss_kib()
     return AnalysisResult(
         alarms=alarms.alarms,
         analysis_time=elapsed,
@@ -374,23 +412,24 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
         filter_site_count=len(sites),
         loop_invariants=it.loop_invariants,
         visit_counts=it.visit_counts,
-        phase_times={
-            "parse": parse_seconds,
-            "packing": packing_seconds,
-            "iteration": it.fixpoint_seconds,
-            # Split of the iteration phase: time inside AbstractState
-            # lattice ops (join/widen/narrow/includes) vs everything
-            # else (the abstract transfer functions proper).
-            "iteration-lattice": it.fixpoint_lattice_seconds,
-            "iteration-transfer": max(
-                0.0, it.fixpoint_seconds - it.fixpoint_lattice_seconds),
-            "checking": checking_seconds,
-        },
-        peak_rss_kib=_peak_rss_kib(),
+        phase_times=phases,
+        peak_rss_kib=rss,
         jobs=jobs,
         parallel_regions=0 if engine is None else engine.parallel_regions,
         parallel_tasks=0 if engine is None else engine.parallel_tasks,
         branch_dispatches=0 if engine is None else engine.branch_dispatches,
+        dispatch="none" if engine is None else engine.dispatch,
+        dispatch_jobs_dispatched=(
+            0 if dstats is None else dstats.jobs_dispatched),
+        dispatch_jobs_stolen=0 if dstats is None else dstats.jobs_stolen,
+        dispatch_jobs_retried=0 if dstats is None else dstats.jobs_retried,
+        dispatch_bytes_shipped=0 if dstats is None else dstats.bytes_shipped,
+        dispatch_workers_joined=(
+            0 if dstats is None else dstats.workers_joined),
+        dispatch_workers_lost=0 if dstats is None else dstats.workers_lost,
+        worker_rss_kib={} if dstats is None else dict(dstats.worker_rss_kib),
+        fleet_peak_rss_kib=(
+            rss if dstats is None else dstats.fleet_peak_rss_kib(rss)),
         incremental=config.incremental,
         stmts_executed=it.stmts_executed,
         stmts_skipped=it.stmts_skipped,

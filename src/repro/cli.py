@@ -64,6 +64,15 @@ def _build_config(args) -> AnalyzerConfig:
         overrides["collect_invariants"] = True
     if getattr(args, "jobs", None) is not None:
         overrides["jobs"] = args.jobs
+    if getattr(args, "dispatch", None) is not None:
+        overrides["dispatch"] = args.dispatch
+    if getattr(args, "workers", None):
+        overrides["workers"] = tuple(
+            w.strip() for w in args.workers.split(",") if w.strip())
+        # An explicit fleet only makes sense over the socket backend.
+        overrides.setdefault("dispatch", "socket")
+    if getattr(args, "parallel_min_stmts", None) is not None:
+        overrides["parallel_min_stmts"] = args.parallel_min_stmts
     if getattr(args, "incremental", None) is not None:
         overrides["incremental"] = args.incremental
     if getattr(args, "vectorize", None) is not None:
@@ -119,6 +128,24 @@ def _print_stats(result) -> None:
               f"(regions={result.parallel_regions}, "
               f"tasks={result.parallel_tasks}, "
               f"branch dispatches={result.branch_dispatches})")
+    if result.dispatch != "none":
+        print(f"  dispatch ({result.dispatch}): "
+              f"dispatched={result.dispatch_jobs_dispatched} "
+              f"stolen={result.dispatch_jobs_stolen} "
+              f"retried={result.dispatch_jobs_retried}")
+        print(f"    bytes shipped={result.dispatch_bytes_shipped} "
+              f"serialize={pt.get('dispatch-serialize', 0.0):.3f}s "
+              f"deserialize={pt.get('dispatch-deserialize', 0.0):.3f}s")
+        if result.dispatch == "socket":
+            print(f"    fleet: joined={result.dispatch_workers_joined} "
+                  f"lost={result.dispatch_workers_lost}")
+        if result.worker_rss_kib:
+            fleet = ", ".join(
+                f"{label}={kib / 1024.0:.1f} MiB"
+                for label, kib in sorted(result.worker_rss_kib.items()))
+            print(f"    worker RSS: {fleet}")
+            print(f"    fleet peak RSS: "
+                  f"{result.fleet_peak_rss_kib / 1024.0:.1f} MiB")
     if result.incidents:
         print(f"  incidents ({len(result.incidents)}):")
         for inc in result.incidents:
@@ -162,6 +189,18 @@ def cmd_analyze(args) -> int:
             payload["jobs"] = result.jobs
             payload["parallel_regions"] = result.parallel_regions
             payload["parallel_tasks"] = result.parallel_tasks
+            payload["dispatch"] = result.dispatch
+            payload["dispatch_jobs_dispatched"] = \
+                result.dispatch_jobs_dispatched
+            payload["dispatch_jobs_stolen"] = result.dispatch_jobs_stolen
+            payload["dispatch_jobs_retried"] = result.dispatch_jobs_retried
+            payload["dispatch_bytes_shipped"] = result.dispatch_bytes_shipped
+            payload["dispatch_workers_joined"] = \
+                result.dispatch_workers_joined
+            payload["dispatch_workers_lost"] = result.dispatch_workers_lost
+            payload["worker_rss_kib"] = dict(
+                sorted(result.worker_rss_kib.items()))
+            payload["fleet_peak_rss_kib"] = result.fleet_peak_rss_kib
             payload["widening_iterations"] = result.widening_iterations
             payload["incremental"] = result.incremental
             payload["stmts_executed"] = result.stmts_executed
@@ -318,6 +357,15 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    from .parallel import remote
+
+    argv = ["--listen", args.listen]
+    if args.once:
+        argv.append("--once")
+    return remote.main(argv)
+
+
 def cmd_client(args) -> int:
     from .report import render_serve_stats
     from .serve.client import ServeClient
@@ -443,6 +491,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     pa.add_argument("--jobs", type=int, default=None, metavar="N",
                     help="analysis worker processes (default 1 = "
                          "sequential; results are identical either way)")
+    pa.add_argument("--dispatch", choices=("inline", "pool", "socket"),
+                    default=None,
+                    help="where parallel work units execute: a local "
+                         "process pool (the default), in-process "
+                         "(zero-copy overhead floor), or a socket worker "
+                         "fleet with work-stealing (bit-identical "
+                         "results in every case)")
+    pa.add_argument("--workers", default=None, metavar="ADDR,...",
+                    help="socket-dispatch fleet: comma-separated "
+                         "HOST:PORT or unix:PATH worker addresses "
+                         "(implies --dispatch socket; omit to auto-spawn "
+                         "local workers)")
+    pa.add_argument("--parallel-min-stmts", dest="parallel_min_stmts",
+                    type=int, default=None, metavar="N",
+                    help="minimum footprint weight of a block region "
+                         "before its units are dispatched to workers "
+                         "(default 48)")
     pa.add_argument("--incremental", dest="incremental",
                     action="store_true", default=None,
                     help="dependency-sliced body re-execution inside "
@@ -623,6 +688,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="print per-request cache/queue feedback")
     pc.add_argument("--json", action="store_true")
     pc.set_defaults(func=cmd_client)
+
+    pw = sub.add_parser(
+        "worker",
+        help="run a socket dispatch worker for --dispatch socket")
+    pw.add_argument("--listen", "--worker-listen", dest="listen",
+                    required=True, metavar="HOST:PORT|unix:PATH",
+                    help="address to serve on (port 0 picks a free port "
+                         "and prints the chosen address)")
+    pw.add_argument("--once", action="store_true",
+                    help="serve a single analyzer connection, then exit")
+    pw.set_defaults(func=cmd_worker)
 
     args = parser.parse_args(argv)
     try:

@@ -129,6 +129,21 @@ class AnalyzerConfig:
     dispatch_retries: int = 2
     retry_backoff_s: float = 0.05
     max_pool_rebuilds: int = 3
+    # Dispatch backend (repro.parallel.backends): where work units
+    # execute.  "pool" forks a local process pool; "inline" runs them
+    # in-process (zero-copy dispatch-overhead floor); "socket" ships
+    # them to a repro.parallel.remote worker fleet with work-stealing
+    # and elastic membership.  Pure scheduling knobs — every backend is
+    # bit-identical to sequential — so they are excluded from the
+    # checkpoint and serve compat fingerprints like ``vectorize``.
+    dispatch: str = "pool"
+    # Socket-backend fleet: worker addresses ("HOST:PORT" or
+    # "unix:PATH").  Empty with --dispatch socket auto-spawns ``jobs``
+    # local workers on loopback.
+    workers: Tuple[str, ...] = ()
+    # Dial timeout per worker address; an unreachable worker is skipped
+    # and re-dialled with exponential backoff (elastic join).
+    worker_connect_timeout_s: float = 5.0
 
     # -- resource budgets (repro.supervisor) ------------------------------------
     # When any budget trips, the supervisor walks the soundness-

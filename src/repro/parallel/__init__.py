@@ -7,8 +7,17 @@ sides of a trace-partition split — each carrying its pre-state to a
 worker process.  Worker post-states come back as deltas against the
 pre-state and are merged deterministically in program order, so parallel
 results are bit-identical to the sequential analysis.
+
+Where the work units execute is a pluggable dispatch backend
+(:mod:`.backends`): in-process (``inline``), a local process pool
+(``pool``), or a socket-connected worker fleet with work-stealing and
+elastic membership (``socket``, :mod:`.remote`).
 """
 
+from .backends import (BackendUnavailable, DispatchBackend, DispatchStats,
+                       InlineBackend, PoolBackend, StateNotPicklable)
 from .executor import ParallelEngine
 
-__all__ = ["ParallelEngine"]
+__all__ = ["BackendUnavailable", "DispatchBackend", "DispatchStats",
+           "InlineBackend", "ParallelEngine", "PoolBackend",
+           "StateNotPicklable"]

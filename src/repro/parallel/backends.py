@@ -1,0 +1,284 @@
+"""Dispatch backends: where a parallel region's work units execute.
+
+The :class:`~repro.parallel.executor.ParallelEngine` owns partition
+planning and the deterministic delta merge; *how* a batch of work units
+reaches compute is a :class:`DispatchBackend`:
+
+* ``inline`` — in-process, zero-copy: tasks run on the projected states
+  directly (transfer functions never mutate states, so no pickling or
+  process hop is needed).  The floor for dispatch overhead, and the
+  reference the other backends are measured against.
+* ``pool`` — a local :class:`~concurrent.futures.ProcessPoolExecutor`,
+  the engine's historical path: projected states are pickled once and
+  chunked round-robin over ``jobs`` forked workers.
+* ``socket`` — a fleet of ``repro.parallel.remote`` workers reached over
+  Unix/TCP sockets with work-stealing and elastic join/leave (see
+  :mod:`.remote`).
+
+All three speak the same projected-state/pointer-diff job protocol and
+merge through the same ordinal-sorted delta application, so **any
+backend at any jobs=N is bit-identical to sequential** — scheduling
+(chunking, stealing, retries) never influences merge order.
+
+Failure contract: a backend raises
+
+* :class:`BackendUnavailable` for *transient* transport-level failures
+  (worker crash, socket partition, mid-job disconnect) after restoring
+  itself to a retryable state — the engine retries the whole batch with
+  backoff and records the incident under the exception's ``kind``;
+* :class:`StateNotPicklable` when the job payload cannot be serialized
+  (permanent: the engine disables parallelism);
+* analyzer exceptions raised *inside* a worker propagate unchanged — a
+  bug must never be masked as a silent sequential retry.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["BackendUnavailable", "DispatchBackend", "DispatchStats",
+           "InlineBackend", "PoolBackend", "StateNotPicklable",
+           "make_backend"]
+
+
+class BackendUnavailable(Exception):
+    """Transient dispatch-transport failure.  ``kind`` is the incident
+    classification (``worker-crash``, ``worker-partition``,
+    ``worker-disconnect``, ``worker-version-mismatch``) the engine
+    records before retrying."""
+
+    def __init__(self, kind: str, detail: str):
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+class StateNotPicklable(Exception):
+    """The job payload cannot be serialized: parallelism is pointless
+    for this run (permanent; the engine falls back to sequential)."""
+
+
+@dataclass
+class DispatchStats:
+    """Per-backend counters surfaced through ``--stats``/``--json``.
+
+    ``worker_rss_kib`` maps a worker label (``pid-N`` for pool workers,
+    the address for socket workers) to its peak RSS — remote workers are
+    not children of the analyzer, so the parent's ``ru_maxrss`` reading
+    cannot see them (see :func:`repro.supervisor.budget.peak_rss_kib`).
+    """
+
+    jobs_dispatched: int = 0
+    jobs_stolen: int = 0
+    jobs_retried: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    serialize_s: float = 0.0
+    deserialize_s: float = 0.0
+    workers_joined: int = 0
+    workers_lost: int = 0
+    worker_rss_kib: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def bytes_shipped(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def note_rss(self, label: str, rss_kib: int) -> None:
+        if rss_kib > self.worker_rss_kib.get(label, 0):
+            self.worker_rss_kib[label] = int(rss_kib)
+
+    def fleet_peak_rss_kib(self, parent_kib: int) -> int:
+        return max([int(parent_kib)] + list(self.worker_rss_kib.values()))
+
+
+class DispatchBackend:
+    """One way of executing a batch of work units.  Subclasses implement
+    :meth:`run_batch`; the engine owns planning, retries and merging."""
+
+    name = "?"
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.stats = DispatchStats()
+
+    def run_batch(self, bases: Sequence, tasks: List[Tuple],
+                  common: Dict) -> List[dict]:
+        """Execute ``tasks`` (``(task_id, state_idx, sids, unit)``
+        tuples over the projected pre-states ``bases``) and return their
+        result dicts ordered by ``task_id``.  See the module docstring
+        for the failure contract."""
+        raise NotImplementedError
+
+    def recover(self) -> None:
+        """Restore the backend after a :class:`BackendUnavailable` so
+        the next :meth:`run_batch` is a fresh attempt."""
+
+    def close(self) -> None:
+        """Release workers/sockets; idempotent."""
+
+    def _harvest(self, ordered: List[dict]) -> List[dict]:
+        """Pull per-task worker telemetry (RSS) into the stats."""
+        for res in ordered:
+            label = res.get("worker")
+            if label:
+                self.stats.note_rss(str(label), int(res.get("rss_kib", 0)))
+        return ordered
+
+
+class InlineBackend(DispatchBackend):
+    """Zero-copy in-process execution.
+
+    Transfer functions never mutate their input states (the sequential
+    iterator runs on the live parent states), so the projected bases can
+    be executed directly — no pickling, no worker round-trip.  The
+    worker-side useful-pack scratch (workers clear their *own* process
+    copies) is snapshotted and restored around the batch so the parent's
+    accumulators only change through the engine's merge, exactly as with
+    out-of-process backends.  Fault-injection env knobs target worker
+    processes and are disabled here (killing the worker would kill the
+    analyzer itself).
+    """
+
+    name = "inline"
+
+    def run_batch(self, bases, tasks, common):
+        from .executor import execute_tasks
+
+        ctx = self.engine.ctx
+        saved_oct = set(ctx.useful_oct_packs)
+        saved_bool = set(ctx.useful_bool_packs)
+        try:
+            out = execute_tasks(ctx, self.engine.sid_index, list(bases),
+                                tasks, common, inject_faults=False,
+                                worker_label="inline")
+        finally:
+            ctx.useful_oct_packs.clear()
+            ctx.useful_oct_packs.update(saved_oct)
+            ctx.useful_bool_packs.clear()
+            ctx.useful_bool_packs.update(saved_bool)
+        results = {tid: res for tid, res in out}
+        self.stats.jobs_dispatched += len(tasks)
+        return self._harvest([results[i] for i in range(len(tasks))])
+
+
+class PoolBackend(DispatchBackend):
+    """Local ``ProcessPoolExecutor`` dispatch (fork preferred, spawn
+    fallback), unchanged semantics from the pre-backend engine: states
+    are pickled once, tasks are chunked ``tasks[i::n]`` over the
+    workers, and each chunk ships only the pre-states it references.
+    A :class:`BrokenProcessPool` (worker SIGKILL/OOM) discards the pool
+    and surfaces as ``worker-crash``; the engine's retry re-forks it.
+    """
+
+    name = "pool"
+
+    def __init__(self, engine) -> None:
+        super().__init__(engine)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing as mp
+
+            from . import executor
+
+            try:
+                mpctx = mp.get_context("fork")
+                executor._FORK_CTX = self.engine.ctx
+                self._pool = ProcessPoolExecutor(
+                    self.engine.jobs, mp_context=mpctx,
+                    initializer=executor._worker_init_fork)
+            except ValueError:
+                mpctx = mp.get_context("spawn")
+                blob = pickle.dumps(self.engine.ctx,
+                                    pickle.HIGHEST_PROTOCOL)
+                self._pool = ProcessPoolExecutor(
+                    self.engine.jobs, mp_context=mpctx,
+                    initializer=executor._worker_init_spawn,
+                    initargs=(blob,))
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        try:
+            procs = list(getattr(pool, "_processes", {}).values())
+        except Exception:  # pragma: no cover - interpreter internals moved
+            procs = []
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - already broken
+            pass
+        for p in procs:
+            try:
+                p.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+
+    def recover(self) -> None:
+        self._discard_pool()
+
+    def close(self) -> None:
+        self._discard_pool()
+
+    # -- dispatch -------------------------------------------------------------
+
+    def run_batch(self, bases, tasks, common):
+        from .executor import _run_tasks
+
+        t0 = time.perf_counter()
+        try:
+            blobs = [pickle.dumps(b, pickle.HIGHEST_PROTOCOL)
+                     for b in bases]
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise StateNotPicklable(f"state not picklable: {exc}")
+        self.stats.serialize_s += time.perf_counter() - t0
+        n = min(self.engine.jobs, len(tasks))
+        chunks = [tasks[i::n] for i in range(n)]
+        try:
+            pool = self._ensure_pool()
+            futures = []
+            for chunk in chunks:
+                if not chunk:
+                    continue
+                # Ship only the pre-states this chunk's tasks reference.
+                used = sorted({state_idx for _, state_idx, _, _ in chunk})
+                remap = {orig: local for local, orig in enumerate(used)}
+                local_tasks = [(tid, remap[si], sids, unit)
+                               for tid, si, sids, unit in chunk]
+                payload = dict(common, states=[blobs[i] for i in used],
+                               tasks=local_tasks)
+                self.stats.bytes_sent += sum(len(blobs[i]) for i in used)
+                futures.append(pool.submit(_run_tasks, payload))
+            results: Dict[int, dict] = {}
+            for f in futures:
+                for task_id, res in f.result():
+                    results[task_id] = res
+        except BrokenProcessPool as exc:
+            self._discard_pool()
+            raise BackendUnavailable(
+                "worker-crash", f"worker died mid-dispatch: {exc}")
+        self.stats.jobs_dispatched += len(tasks)
+        return self._harvest([results[i] for i in range(len(tasks))])
+
+
+def make_backend(name: str, engine,
+                 workers: Tuple[str, ...] = ()) -> DispatchBackend:
+    if name == "inline":
+        return InlineBackend(engine)
+    if name == "pool":
+        return PoolBackend(engine)
+    if name == "socket":
+        from .remote import SocketBackend
+
+        return SocketBackend(engine, workers)
+    raise ValueError(f"unknown dispatch backend: {name!r} "
+                     f"(expected inline, pool or socket)")

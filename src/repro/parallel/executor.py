@@ -20,16 +20,26 @@ diff-based joins behave exactly as in the sequential run, and alarms are
 replayed through the parent's collector in program order.  The result is
 bit-identical to ``jobs=1``.
 
+*Where* a batch of work units executes is a pluggable
+:class:`~repro.parallel.backends.DispatchBackend` (``--dispatch``):
+in-process zero-copy (``inline``), a local process pool (``pool``, the
+default), or a socket-connected worker fleet with work-stealing and
+elastic join/leave (``socket``, :mod:`repro.parallel.remote`).  All
+backends share the job protocol above and the ordinal-sorted merge here,
+so every backend at every jobs=N is bit-identical to sequential.
+
 Fault tolerance (Monniaux: a distributed analysis must tolerate worker
 failure without losing soundness): dispatch failures are *classified*,
 not blanket-caught.
 
-* **worker death** (SIGKILL, OOM — surfaces as ``BrokenProcessPool``):
-  the dispatch is retried with exponential backoff against a re-forked
-  pool; deltas have no parent-side effects until the whole dispatch
-  succeeds, so a retry is exactly a re-run.  After the retry budget or
-  the run-wide pool-rebuild budget is spent, the engine degrades to
-  sequential execution (identical results, just slower);
+* **transport failures** (worker SIGKILL/OOM, socket partition, mid-job
+  disconnect — surfaced by the backend as
+  :class:`~repro.parallel.backends.BackendUnavailable` with an incident
+  kind): the dispatch is retried with exponential backoff against a
+  recovered backend; deltas have no parent-side effects until the whole
+  dispatch succeeds, so a retry is exactly a re-run.  After the retry
+  budget or the run-wide recovery budget is spent, the engine degrades
+  to sequential execution (identical results, just slower);
 * **pickling errors** (unpicklable state): parallelism is permanently
   disabled and the region runs sequentially;
 * **analyzer bugs** (any exception raised by the analysis itself inside
@@ -41,7 +51,7 @@ Every failure and recovery action is recorded in the shared
 ``REPRO_FAULT_WORKER_CRASH`` (path to a marker file: the first worker to
 claim it hard-exits, simulating an OOM kill) and
 ``REPRO_FAULT_WORKER_RAISE`` (raise an AnalysisError in every worker)
-inject faults for tests and CI.
+inject faults for tests and CI on every out-of-process backend.
 """
 
 from __future__ import annotations
@@ -49,8 +59,6 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -63,7 +71,7 @@ from ..supervisor.incidents import IncidentLog
 from .footprints import Footprint, FootprintAnalyzer
 
 __all__ = ["ParallelEngine", "plan_sequence", "PlanSegment",
-           "DispatchFailed"]
+           "DispatchFailed", "execute_tasks"]
 
 
 class DispatchFailed(Exception):
@@ -307,24 +315,46 @@ def _maybe_inject_fault() -> None:
             "injected analyzer fault (REPRO_FAULT_WORKER_RAISE)")
 
 
-def _run_tasks(payload: dict) -> List[Tuple[int, dict]]:
+def _worker_rss_kib() -> int:
+    from ..supervisor.budget import peak_rss_self_kib
+
+    return peak_rss_self_kib()
+
+
+def execute_tasks(ctx, sid_index: Dict[int, I.Stmt],
+                  states: Sequence[AbstractState],
+                  tasks: Sequence[Tuple[int, int, List[int], bool]],
+                  common: dict, inject_faults: bool = True,
+                  worker_label: Optional[str] = None
+                  ) -> List[Tuple[int, dict]]:
+    """Execute a batch of work units and encode their results as deltas.
+
+    The shared core of every dispatch backend: pool workers call it
+    through :func:`_run_tasks` after unpickling their payload, the
+    socket worker (:mod:`.remote`) calls it per job frame, and the
+    inline backend calls it directly on the projected parent states
+    (safe because transfer functions never mutate their inputs — the
+    sequential iterator runs on the live states).  ``common`` carries
+    the iterator context every task shares: ``fn_stack``, ``bindings``,
+    ``budget`` and ``checking``.
+    """
     from ..iterator.iterator import Iterator
 
-    _maybe_inject_fault()
-    ctx = _WORKER_CTX
-    states = [pickle.loads(blob) for blob in payload["states"]]
+    if inject_faults:
+        _maybe_inject_fault()
+    label = worker_label if worker_label is not None else f"pid-{os.getpid()}"
     out = []
-    for task_id, state_idx, sids, unit in payload["tasks"]:
+    for task_id, state_idx, sids, unit in tasks:
         base = states[state_idx]
         collector = AlarmCollector()
-        collector.checking = payload["checking"]
+        collector.checking = common["checking"]
         it = Iterator(ctx, collector)
-        it._fn_stack = list(payload["fn_stack"])
-        it.tr.bindings = [dict(frame) for frame in payload["bindings"]]
-        it._partition_budget = payload["budget"]
+        it._fn_stack = list(common["fn_stack"])
+        it.tr.bindings = [dict(frame) for frame in common["bindings"]]
+        it._partition_budget = common["budget"]
         ctx.useful_oct_packs.clear()
         ctx.useful_bool_packs.clear()
-        stmts = [_WORKER_SIDS[sid] for sid in sids]
+        stmts = [sid_index[sid] for sid in sids]
         flow = it.exec_block(base, stmts)
         if unit and (flow.brk is not None or flow.cont is not None
                      or flow.ret is not None):
@@ -344,8 +374,18 @@ def _run_tasks(payload: dict) -> List[Tuple[int, dict]]:
             "invariants": sorted(
                 (lid, _state_delta(base, inv))
                 for lid, inv in it.loop_invariants.items()),
+            "worker": label,
+            "rss_kib": 0 if worker_label == "inline" else _worker_rss_kib(),
         }))
     return out
+
+
+def _run_tasks(payload: dict) -> List[Tuple[int, dict]]:
+    """Pool/remote worker entry: unpickle the shipped pre-states and run
+    the batch against this process's installed context."""
+    states = [pickle.loads(blob) for blob in payload["states"]]
+    return execute_tasks(_WORKER_CTX, _WORKER_SIDS, states,
+                         payload["tasks"], payload)
 
 
 # ---------------------------------------------------------------------------
@@ -353,66 +393,57 @@ def _run_tasks(payload: dict) -> List[Tuple[int, dict]]:
 # ---------------------------------------------------------------------------
 
 class ParallelEngine:
-    """Owns the process pool, partition plans, deterministic merge, and
-    worker crash recovery."""
+    """Owns the partition plans, the deterministic merge, the dispatch
+    retry loop and a pluggable :class:`~repro.parallel.backends
+    .DispatchBackend` that decides where batches execute."""
 
     def __init__(self, ctx, jobs: int,
-                 incidents: Optional[IncidentLog] = None):
+                 incidents: Optional[IncidentLog] = None,
+                 dispatch: Optional[str] = None,
+                 workers: Optional[Sequence[str]] = None):
+        from .backends import make_backend
+
         self.ctx = ctx
         self.jobs = max(1, int(jobs))
         self.analyzer = FootprintAnalyzer(ctx)
         self.incidents = incidents if incidents is not None else IncidentLog()
         self._plans: Dict[Tuple, Optional[List[PlanSegment]]] = {}
-        self._pool = None
         self._disabled = False
         self._rebuilds = 0
+        self._sid_index: Optional[Dict[int, I.Stmt]] = None
+        cfg = ctx.config
+        self.dispatch = (dispatch if dispatch is not None
+                         else getattr(cfg, "dispatch", "pool")) or "pool"
+        fleet = (workers if workers is not None
+                 else getattr(cfg, "workers", ()) or ())
+        self.backend = make_backend(self.dispatch, self, tuple(fleet))
         # Statistics surfaced through AnalysisResult.
         self.parallel_regions = 0
         self.parallel_tasks = 0
         self.branch_dispatches = 0
         set_active_context(ctx)
 
-    # -- pool lifecycle --------------------------------------------------------
+    @property
+    def stats(self):
+        return self.backend.stats
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            import multiprocessing as mp
+    @property
+    def sid_index(self) -> Dict[int, I.Stmt]:
+        """sid -> statement over the whole program (the parent-side twin
+        of the index workers build in :func:`_install_context`)."""
+        if self._sid_index is None:
+            index: Dict[int, I.Stmt] = {}
+            for fn in self.ctx.prog.functions.values():
+                if fn.body:
+                    for s in I.iter_stmts(fn.body):
+                        index[s.sid] = s
+            self._sid_index = index
+        return self._sid_index
 
-            global _FORK_CTX
-            try:
-                mpctx = mp.get_context("fork")
-                _FORK_CTX = self.ctx
-                self._pool = ProcessPoolExecutor(
-                    self.jobs, mp_context=mpctx,
-                    initializer=_worker_init_fork)
-            except ValueError:
-                mpctx = mp.get_context("spawn")
-                blob = pickle.dumps(self.ctx, pickle.HIGHEST_PROTOCOL)
-                self._pool = ProcessPoolExecutor(
-                    self.jobs, mp_context=mpctx,
-                    initializer=_worker_init_spawn, initargs=(blob,))
-        return self._pool
-
-    def _discard_pool(self) -> None:
-        if self._pool is None:
-            return
-        pool, self._pool = self._pool, None
-        try:
-            procs = list(getattr(pool, "_processes", {}).values())
-        except Exception:  # pragma: no cover - interpreter internals moved
-            procs = []
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:  # pragma: no cover - already broken
-            pass
-        for p in procs:
-            try:
-                p.terminate()
-            except Exception:  # pragma: no cover - already dead
-                pass
+    # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        self._discard_pool()
+        self.backend.close()
 
     def shutdown(self, reason: str) -> None:
         """Externally requested stop (budget trip): free the workers and
@@ -425,13 +456,13 @@ class ParallelEngine:
             self.incidents.record("parallel-disabled",
                                   action="sequential-fallback",
                                   detail=reason)
-        self._discard_pool()
+        self.backend.close()
 
     # -- dispatch --------------------------------------------------------------
 
-    def _dispatch(self, it, blobs: List[bytes],
+    def _dispatch(self, it, bases: List[AbstractState],
                   tasks: List[Tuple[int, int, List[int], bool]]) -> List[dict]:
-        """Run one batch of tasks, recovering from worker deaths.
+        """Run one batch of tasks, recovering from transport failures.
 
         Retries re-run the *whole* batch: workers have no parent-visible
         side effects, so a re-run is exactly a fresh dispatch and the
@@ -439,67 +470,46 @@ class ParallelEngine:
         when recovery is exhausted; analyzer exceptions raised inside a
         worker propagate unchanged.
         """
+        from .backends import BackendUnavailable, StateNotPicklable
+
         cfg = self.ctx.config
         retries = max(0, getattr(cfg, "dispatch_retries", 2))
         backoff = max(0.0, getattr(cfg, "retry_backoff_s", 0.05))
         max_rebuilds = max(0, getattr(cfg, "max_pool_rebuilds", 3))
-        attempt = 0
-        while True:
-            try:
-                return self._dispatch_once(it, blobs, tasks)
-            except BrokenProcessPool as exc:
-                self._discard_pool()
-                self._rebuilds += 1
-                attempt += 1
-                out_of_budget = (attempt > retries
-                                 or self._rebuilds > max_rebuilds)
-                self.incidents.record(
-                    "worker-crash",
-                    action=("gave-up" if out_of_budget
-                            else f"retry-{attempt}"),
-                    detail=(f"worker died mid-dispatch "
-                            f"({len(tasks)} task(s)); pool rebuild "
-                            f"{self._rebuilds}: {exc}"))
-                if out_of_budget:
-                    raise DispatchFailed(
-                        f"worker crashes exhausted the retry budget "
-                        f"({attempt - 1} retries, {self._rebuilds} pool "
-                        f"rebuilds)",
-                        permanent=self._rebuilds > max_rebuilds)
-                time.sleep(backoff * (2 ** (attempt - 1)))
-            except pickle.PicklingError as exc:
-                self.incidents.record("pickling-error",
-                                      action="sequential-fallback",
-                                      detail=str(exc))
-                raise DispatchFailed(str(exc), permanent=True)
-
-    def _dispatch_once(self, it, blobs, tasks) -> List[dict]:
-        pool = self._ensure_pool()
         common = {
             "fn_stack": list(it._fn_stack),
             "bindings": [dict(frame) for frame in it.tr.bindings],
             "budget": it._partition_budget,
             "checking": it.alarms.checking,
         }
-        n = min(self.jobs, len(tasks))
-        chunks = [tasks[i::n] for i in range(n)]
-        futures = []
-        for chunk in chunks:
-            if not chunk:
-                continue
-            # Ship only the pre-states this chunk's tasks reference.
-            used = sorted({state_idx for _, state_idx, _, _ in chunk})
-            remap = {orig: local for local, orig in enumerate(used)}
-            local_tasks = [(tid, remap[si], sids, unit)
-                           for tid, si, sids, unit in chunk]
-            payload = dict(common, states=[blobs[i] for i in used],
-                           tasks=local_tasks)
-            futures.append(pool.submit(_run_tasks, payload))
-        results: Dict[int, dict] = {}
-        for f in futures:
-            for task_id, res in f.result():
-                results[task_id] = res
-        return [results[i] for i in range(len(tasks))]
+        attempt = 0
+        while True:
+            try:
+                return self.backend.run_batch(bases, tasks, common)
+            except BackendUnavailable as exc:
+                self.backend.recover()
+                self._rebuilds += 1
+                attempt += 1
+                out_of_budget = (attempt > retries
+                                 or self._rebuilds > max_rebuilds)
+                self.incidents.record(
+                    exc.kind,
+                    action=("gave-up" if out_of_budget
+                            else f"retry-{attempt}"),
+                    detail=(f"{exc.detail} ({len(tasks)} task(s)); "
+                            f"backend recovery {self._rebuilds}"))
+                if out_of_budget:
+                    raise DispatchFailed(
+                        f"{exc.kind} exhausted the retry budget "
+                        f"({attempt - 1} retries, {self._rebuilds} "
+                        f"backend recoveries)",
+                        permanent=self._rebuilds > max_rebuilds)
+                time.sleep(backoff * (2 ** (attempt - 1)))
+            except StateNotPicklable as exc:
+                self.incidents.record("pickling-error",
+                                      action="sequential-fallback",
+                                      detail=str(exc))
+                raise DispatchFailed(str(exc), permanent=True)
 
     def _merge_stats(self, it, base: AbstractState, res: dict) -> None:
         for kind, sid, loc, msg in res["alarms"]:
@@ -565,25 +575,20 @@ class ParallelEngine:
 
     def _run_region(self, it, flow, stmts, seg: PlanSegment):
         base = flow.normal
-        try:
-            # Each unit ships only its footprint's slice of the state:
-            # blobs stay small no matter how large the program grows.
-            bases = [
-                _project_state(self.ctx, base, self._projection_for(seg, ti))
-                for ti in range(len(seg.units))
-            ]
-            blobs = [pickle.dumps(b, pickle.HIGHEST_PROTOCOL)
-                     for b in bases]
-        except (pickle.PicklingError, TypeError, AttributeError) as exc:
-            # Unpicklable state can never dispatch: stay sequential.
-            self._disable(f"state not picklable: {exc}")
-            return None
+        # Each unit ships only its footprint's slice of the state: job
+        # payloads stay small no matter how large the program grows.
+        # Serialization (where needed) is the backend's business — the
+        # inline backend runs on these projections directly.
+        bases = [
+            _project_state(self.ctx, base, self._projection_for(seg, ti))
+            for ti in range(len(seg.units))
+        ]
         tasks = [
             (ti, ti, [stmts[i].sid for i in range(a, b)], True)
             for ti, (a, b) in enumerate(seg.units)
         ]
         try:
-            results = self._dispatch(it, blobs, tasks)
+            results = self._dispatch(it, bases, tasks)
         except DispatchFailed as exc:
             # Worker-death recovery exhausted: run this region inline;
             # permanent failures disable parallelism for the whole run.
@@ -635,16 +640,10 @@ class ParallelEngine:
         fps = self._branch_footprints(it, t_stmts, f_stmts)
         if fps is None:
             return None
-        try:
-            blobs = [pickle.dumps(t_state, pickle.HIGHEST_PROTOCOL),
-                     pickle.dumps(f_state, pickle.HIGHEST_PROTOCOL)]
-        except (pickle.PicklingError, TypeError, AttributeError) as exc:
-            self._disable(f"state not picklable: {exc}")
-            return None
         tasks = [(0, 0, [s.sid for s in t_stmts], False),
                  (1, 1, [s.sid for s in f_stmts], False)]
         try:
-            res_t, res_f = self._dispatch(it, blobs, tasks)
+            res_t, res_f = self._dispatch(it, [t_state, f_state], tasks)
         except DispatchFailed as exc:
             if exc.permanent:
                 self._disable(str(exc))

@@ -1,0 +1,782 @@
+"""Socket-distributed dispatch: remote workers and the parent backend.
+
+A worker is a standalone process (``python -m repro.parallel.remote
+--listen HOST:PORT`` or ``unix:PATH``; also ``repro worker``) serving
+one analyzer connection at a time over length-prefixed JSON frames
+(:mod:`repro.ipc.frames` — the same framing the serve-mode supervisor
+speaks to its job worker).  Pickled payloads travel base64-encoded
+inside the frames, so the wire stays a pure frame stream and framing
+errors are distinguishable from payload corruption.
+
+Protocol (version :data:`REMOTE_PROTOCOL_VERSION`)::
+
+    -> {"op": "hello", "version": N, "context": b64(pickle(ctx))}
+    <- {"ok": true, "version": N, "pid": P}      (or ok=false: mismatch)
+    -> {"op": "run", "task": i, "payload": b64(pickle(job))}
+    <- {"ok": true, "task": i, "results": b64(pickle(out)),
+        "rss_kib": K}                            (or ok=false: analyzer
+                                                  exception, re-raised
+                                                  verbatim by the parent)
+    -> {"op": "ping"} / {"op": "shutdown"}
+
+The job payload is exactly what :func:`repro.parallel.executor._run_tasks`
+consumes, one task per frame — small frames are what make work-stealing
+meaningful.  The parent (:class:`SocketBackend`) keeps a per-worker task
+queue (round-robin ``tasks[i::n]``), and an idle worker *steals from the
+tail* of the longest peer queue.  Stealing, retries and elastic
+membership only decide **where** a task runs; results are merged by task
+ordinal in the engine, so any fleet shape stays bit-identical to the
+sequential analysis.
+
+Failure handling extends the pool backend's crash taxonomy to the
+network: a spawned worker whose process died is a ``worker-crash``
+(classified via :func:`repro.fuzz.triage.crash_signature` over its
+stderr tail, like serve-mode workers); a connection that drops with a
+job in flight is a ``worker-disconnect`` (the job is retried once on a
+fresh worker); a drop with no job in flight — or an unreachable fleet —
+is a ``worker-partition``; a handshake version mismatch excludes the
+worker permanently (``worker-version-mismatch``).  Lost workers rejoin
+elastically: every address is re-dialled on a seeded
+:class:`~repro.supervisor.restart.RestartPolicy` backoff, and a worker
+that comes (back) up joins the fleet at the next batch boundary.
+
+Chaos knobs (workers only, never the analyzer process):
+
+* ``REPRO_FAULT_WORKER_CRASH`` / ``REPRO_FAULT_WORKER_RAISE`` — shared
+  with the pool backend (see :func:`executor._maybe_inject_fault`).
+* ``REPRO_FAULT_REMOTE_CLOSE`` — marker file; the worker that claims it
+  (by unlink) drops the connection mid-job without replying: a network
+  partition from the parent's point of view.
+* ``REPRO_FAULT_REMOTE_SLOW_S`` — sleep this many seconds before each
+  job (makes a worker steal-bait for the scheduler tests).
+* ``REPRO_FAULT_REMOTE_VERSION`` — advertise this protocol version
+  instead of the real one (handshake-mismatch tests).
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import select
+import socket as socketlib
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ipc.frames import FrameBuffer, ProtocolError, encode_frame, \
+    recv_frame, send_frame
+from .backends import BackendUnavailable, DispatchBackend, StateNotPicklable
+
+__all__ = ["REMOTE_PROTOCOL_VERSION", "SocketBackend", "main",
+           "parse_worker_addr"]
+
+REMOTE_PROTOCOL_VERSION = 1
+
+_LISTEN_MARKER = "listening on "
+
+
+# ---------------------------------------------------------------------------
+# Addresses
+# ---------------------------------------------------------------------------
+
+def parse_worker_addr(addr: str) -> Tuple[str, object]:
+    """``HOST:PORT`` -> ("tcp", (host, port)); ``unix:PATH`` -> ("unix",
+    path)."""
+    if addr.startswith("unix:"):
+        path = addr[len("unix:"):]
+        if not path:
+            raise ValueError(f"bad worker address {addr!r}: empty unix path")
+        return "unix", path
+    host, sep, port = addr.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"bad worker address {addr!r} "
+                         f"(expected HOST:PORT or unix:PATH)")
+    try:
+        return "tcp", (host, int(port))
+    except ValueError:
+        raise ValueError(f"bad worker address {addr!r}: port is not a number")
+
+
+def _format_addr(kind: str, target) -> str:
+    if kind == "unix":
+        return f"unix:{target}"
+    host, port = target[0], target[1]
+    return f"{host}:{port}"
+
+
+def _connect(addr: str, timeout_s: float) -> socketlib.socket:
+    kind, target = parse_worker_addr(addr)
+    if kind == "unix":
+        sock = socketlib.socket(socketlib.AF_UNIX)
+    else:
+        sock = socketlib.socket(socketlib.AF_INET)
+    sock.settimeout(timeout_s)
+    try:
+        sock.connect(target)
+    except OSError:
+        sock.close()
+        raise
+    if kind == "tcp":
+        sock.setsockopt(socketlib.IPPROTO_TCP, socketlib.TCP_NODELAY, 1)
+    return sock
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _advertised_version() -> int:
+    fake = os.environ.get("REPRO_FAULT_REMOTE_VERSION")
+    return int(fake) if fake else REMOTE_PROTOCOL_VERSION
+
+
+def _claim_marker(env_var: str) -> bool:
+    """Marker-file fault knob, claimed by unlink so exactly one worker
+    in a fleet acts on it (same discipline as the pool crash knob)."""
+    marker = os.environ.get(env_var)
+    if not marker:
+        return False
+    try:
+        os.unlink(marker)
+    except OSError:
+        return False
+    return True
+
+
+def _serve_connection(conn: socketlib.socket) -> bool:
+    """Serve one analyzer connection; return True iff asked to shut
+    down (False: go back to accepting — the parent may reconnect)."""
+    rfile = conn.makefile("rb")
+    wfile = conn.makefile("wb")
+    installed = False
+    try:
+        while True:
+            try:
+                msg = recv_frame(rfile)
+            except ProtocolError:
+                return False  # parent died mid-write
+            if msg is None:
+                return False  # clean EOF: parent hung up
+            op = msg.get("op")
+            if op == "shutdown":
+                send_frame(wfile, {"ok": True})
+                return True
+            if op == "ping":
+                send_frame(wfile, {"ok": True, "pid": os.getpid(),
+                                   "version": _advertised_version()})
+            elif op == "hello":
+                version = _advertised_version()
+                if msg.get("version") != version:
+                    send_frame(wfile, {
+                        "ok": False, "version": version,
+                        "error": (f"protocol version mismatch (worker "
+                                  f"speaks {version}, parent sent "
+                                  f"{msg.get('version')})")})
+                    return False
+                from . import executor
+
+                ctx = pickle.loads(base64.b64decode(msg["context"]))
+                executor._install_context(ctx)
+                installed = True
+                send_frame(wfile, {"ok": True, "version": version,
+                                   "pid": os.getpid()})
+            elif op == "run":
+                if not installed:
+                    send_frame(wfile, {"ok": False, "task": msg.get("task"),
+                                       "error_class": "ProtocolError",
+                                       "error": "run before hello"})
+                    continue
+                slow = float(os.environ.get("REPRO_FAULT_REMOTE_SLOW_S",
+                                            "0") or 0.0)
+                if slow > 0:
+                    time.sleep(slow)
+                if _claim_marker("REPRO_FAULT_REMOTE_CLOSE"):
+                    return False  # simulated partition: vanish mid-job
+                _run_job(wfile, msg)
+            else:
+                send_frame(wfile, {"ok": False,
+                                   "error": f"unknown op {op!r}"})
+    except (BrokenPipeError, ConnectionResetError, OSError):
+        return False
+    finally:
+        for f in (wfile, rfile):
+            try:
+                f.close()
+            except OSError:
+                pass
+
+
+def _run_job(wfile, msg: dict) -> None:
+    from ..supervisor.budget import peak_rss_self_kib
+    from . import executor
+
+    task = msg.get("task")
+    payload = pickle.loads(base64.b64decode(msg["payload"]))
+    try:
+        out = executor._run_tasks(payload)
+    except Exception as exc:  # analyzer bug: ship it back verbatim
+        import traceback
+
+        traceback.print_exc()
+        try:
+            exc_b64 = base64.b64encode(
+                pickle.dumps(exc, pickle.HIGHEST_PROTOCOL)).decode("ascii")
+        except Exception:
+            exc_b64 = None
+        send_frame(wfile, {"ok": False, "task": task,
+                           "error_class": type(exc).__name__,
+                           "error": str(exc), "exc": exc_b64})
+        return
+    blob = base64.b64encode(
+        pickle.dumps(out, pickle.HIGHEST_PROTOCOL)).decode("ascii")
+    send_frame(wfile, {"ok": True, "task": task, "results": blob,
+                       "rss_kib": peak_rss_self_kib()})
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Worker entry point: bind, announce, and serve analyzers forever
+    (or once, with ``--once``)."""
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Socket dispatch worker for the parallel fixpoint "
+                    "engine (repro analyze --dispatch socket).")
+    ap.add_argument("--listen", required=True, metavar="HOST:PORT|unix:PATH",
+                    help="address to listen on (port 0 picks a free port; "
+                         "the chosen address is printed on stdout)")
+    ap.add_argument("--once", action="store_true",
+                    help="serve a single connection, then exit")
+    args = ap.parse_args(argv)
+
+    kind, target = parse_worker_addr(args.listen)
+    if kind == "unix":
+        try:
+            os.unlink(target)
+        except OSError:
+            pass
+        srv = socketlib.socket(socketlib.AF_UNIX)
+        srv.bind(target)
+    else:
+        srv = socketlib.socket(socketlib.AF_INET)
+        srv.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_REUSEADDR, 1)
+        srv.bind(target)
+        target = srv.getsockname()[:2]
+    srv.listen(1)
+    print(f"repro-worker {_LISTEN_MARKER}{_format_addr(kind, target)}",
+          flush=True)
+    try:
+        while True:
+            conn, _peer = srv.accept()
+            if kind == "tcp":
+                # Without this, large multi-segment replies stall on
+                # Nagle + delayed-ACK (~40ms per frame boundary).
+                conn.setsockopt(socketlib.IPPROTO_TCP,
+                                socketlib.TCP_NODELAY, 1)
+            try:
+                stop = _serve_connection(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if stop or args.once:
+                return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        return 0
+    finally:
+        srv.close()
+        if kind == "unix":
+            try:
+                os.unlink(target)
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+class _LocalProc:
+    """A locally auto-spawned worker process.  Its stderr is pumped into
+    a bounded tail for crash-signature classification, mirroring the
+    serve-mode WorkerHandle."""
+
+    def __init__(self, proc: subprocess.Popen):
+        self.proc = proc
+        self._tail: deque = deque(maxlen=200)
+        self._pump = threading.Thread(target=self._drain, daemon=True,
+                                      name="dispatch-worker-stderr")
+        self._pump.start()
+
+    def _drain(self) -> None:
+        try:
+            for line in self.proc.stderr:
+                self._tail.append(line)
+        except (OSError, ValueError):  # pragma: no cover - pipe torn down
+            pass
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def stderr_tail(self) -> str:
+        self._pump.join(timeout=2.0)
+        return b"".join(self._tail).decode("utf-8", "replace")
+
+    def read_listen_addr(self, deadline: float) -> Optional[str]:
+        """Read the worker's ``listening on ADDR`` stdout line."""
+        fd = self.proc.stdout.fileno()
+        data = b""
+        while b"\n" not in data:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            ready, _, _ = select.select([fd], [], [], min(0.2, remaining))
+            if not ready:
+                continue
+            chunk = os.read(fd, 4096)
+            if not chunk:
+                return None
+            data += chunk
+        line = data.split(b"\n", 1)[0].decode("utf-8", "replace")
+        pos = line.find(_LISTEN_MARKER)
+        if pos < 0:
+            return None
+        return line[pos + len(_LISTEN_MARKER):].strip()
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            try:
+                self.proc.terminate()
+                self.proc.wait(timeout=2.0)
+            except (OSError, subprocess.TimeoutExpired):
+                try:
+                    self.proc.kill()
+                    self.proc.wait(timeout=2.0)
+                except (OSError, subprocess.TimeoutExpired):
+                    pass
+        for stream in (self.proc.stdout, self.proc.stderr):
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+
+class _WorkerLink:
+    """One live connection in the fleet: its socket, frame reassembly
+    buffer, task queue and the single in-flight task ordinal."""
+
+    def __init__(self, addr: str, sock: socketlib.socket, index: int,
+                 buf: FrameBuffer):
+        self.addr = addr
+        self.sock = sock
+        self.index = index
+        self.buf = buf
+        self.queue: deque = deque()
+        self.inflight: Optional[int] = None
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class SocketBackend(DispatchBackend):
+    """Distributed dispatch over a socket worker fleet.
+
+    With an explicit ``--workers`` fleet the backend dials the given
+    addresses; with none it auto-spawns ``jobs`` local workers on
+    loopback (functionally a process pool, but exercising the full wire
+    path).  Membership is elastic: unreachable workers are skipped and
+    re-dialled with seeded exponential backoff at batch boundaries, so
+    a worker started late simply joins the next batch.
+    """
+
+    name = "socket"
+
+    def __init__(self, engine, workers: Tuple[str, ...] = ()):
+        super().__init__(engine)
+        cfg = engine.ctx.config
+        self._configured: List[str] = list(workers)
+        self._spawn_local = not self._configured
+        self._spawned: Dict[str, _LocalProc] = {}
+        self._links: Dict[str, _WorkerLink] = {}
+        self._excluded: Dict[str, str] = {}  # addr -> why (permanent)
+        self._policies: Dict[str, object] = {}
+        self._retry_at: Dict[str, float] = {}
+        self._down_logged: set = set()
+        self._ctx_b64: Optional[str] = None
+        self._connect_timeout = max(
+            0.1, float(getattr(cfg, "worker_connect_timeout_s", 5.0)))
+        self._version = REMOTE_PROTOCOL_VERSION
+        self._pending_spawn: List[_LocalProc] = []
+        if self._spawn_local and (os.cpu_count() or 1) > 1:
+            # Local worker interpreters take a few hundred ms to boot
+            # (imports dominate); starting them here overlaps that with
+            # the analysis prefix instead of letting the first dispatched
+            # batch absorb the whole cold start.  Only worth it with a
+            # spare core — on a single CPU the boot would steal cycles
+            # from the prefix instead of overlapping it.
+            self._start_spawn()
+
+    # -- fleet membership ------------------------------------------------------
+
+    def _context_b64(self) -> str:
+        if self._ctx_b64 is None:
+            try:
+                blob = pickle.dumps(self.engine.ctx, pickle.HIGHEST_PROTOCOL)
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                raise StateNotPicklable(
+                    f"analysis context not picklable: {exc}")
+            self._ctx_b64 = base64.b64encode(blob).decode("ascii")
+        return self._ctx_b64
+
+    def _start_spawn(self) -> None:
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p)
+        for _ in range(max(1, self.engine.jobs)):
+            self._pending_spawn.append(_LocalProc(subprocess.Popen(
+                [sys.executable, "-m", "repro.parallel.remote",
+                 "--listen", "127.0.0.1:0"],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env)))
+
+    def _ensure_spawned(self) -> None:
+        if not self._spawn_local or self._spawned:
+            return
+        if not self._pending_spawn:
+            self._start_spawn()
+        procs, self._pending_spawn = self._pending_spawn, []
+        deadline = time.monotonic() + 60.0
+        for lp in procs:
+            addr = lp.read_listen_addr(deadline)
+            if addr is None:
+                tail = lp.stderr_tail()
+                lp.stop()
+                for other in procs:
+                    if other is not lp:
+                        other.stop()
+                self._spawned.clear()
+                raise BackendUnavailable(
+                    "worker-crash",
+                    f"spawned dispatch worker failed to listen: "
+                    f"{tail.strip() or 'no stderr'}")
+            self._configured.append(addr)
+            self._spawned[addr] = lp
+
+    def _policy_for(self, addr: str):
+        from ..supervisor.restart import RestartPolicy
+
+        policy = self._policies.get(addr)
+        if policy is None:
+            policy = RestartPolicy(base_s=0.05, cap_s=2.0,
+                                   seed=self._configured.index(addr))
+            self._policies[addr] = policy
+        return policy
+
+    def _refresh_fleet(self) -> None:
+        """Elastic join: (re)dial every configured address that is not
+        connected, excluded, or still inside its backoff window."""
+        now = time.monotonic()
+        for index, addr in enumerate(self._configured):
+            if addr in self._links or addr in self._excluded:
+                continue
+            if now < self._retry_at.get(addr, 0.0):
+                continue
+            self._try_join(addr, index)
+
+    def _try_join(self, addr: str, index: int) -> None:
+        policy = self._policy_for(addr)
+        try:
+            sock = _connect(addr, self._connect_timeout)
+            hello = encode_frame({"op": "hello", "version": self._version,
+                                  "context": self._context_b64()})
+            sock.sendall(hello)
+            self.stats.bytes_sent += len(hello)
+            reply, buf = self._recv_blocking(
+                sock, time.monotonic() + max(10.0, self._connect_timeout))
+        except StateNotPicklable:
+            raise
+        except (OSError, ProtocolError, TimeoutError) as exc:
+            self._retry_at[addr] = time.monotonic() + policy.next_delay()
+            if addr not in self._down_logged:
+                self._down_logged.add(addr)
+                self.engine.incidents.record(
+                    "worker-unreachable", action="deferred-join",
+                    detail=f"worker {addr}: {exc}")
+            return
+        if not reply.get("ok"):
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self._excluded[addr] = reply.get("error", "handshake rejected")
+            self.engine.incidents.record(
+                "worker-version-mismatch", action="excluded",
+                detail=f"worker {addr}: {self._excluded[addr]}")
+            return
+        sock.setblocking(True)
+        self._links[addr] = _WorkerLink(addr, sock, index, buf)
+        self._down_logged.discard(addr)
+        policy.reset()
+        self.stats.workers_joined += 1
+
+    @staticmethod
+    def _recv_blocking(sock: socketlib.socket,
+                       deadline: float) -> Tuple[dict, FrameBuffer]:
+        """Receive one frame with a deadline (handshake only; batches
+        use the select loop)."""
+        buf = FrameBuffer()
+        while True:
+            msg = buf.next_frame()
+            if msg is not None:
+                return msg, buf
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("worker handshake timed out")
+            ready, _, _ = select.select([sock], [], [], min(0.2, remaining))
+            if not ready:
+                continue
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                raise ProtocolError("worker closed during handshake")
+            buf.feed(chunk)
+
+    # -- batch execution -------------------------------------------------------
+
+    def run_batch(self, bases, tasks, common):
+        t0 = time.perf_counter()
+        try:
+            blobs = [pickle.dumps(b, pickle.HIGHEST_PROTOCOL)
+                     for b in bases]
+            frames = []
+            for i, (tid, si, sids, unit) in enumerate(tasks):
+                payload = dict(common, states=[blobs[si]],
+                               tasks=[(tid, 0, sids, unit)])
+                frames.append(encode_frame({
+                    "op": "run", "task": i,
+                    "payload": base64.b64encode(pickle.dumps(
+                        payload, pickle.HIGHEST_PROTOCOL)).decode("ascii")}))
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise StateNotPicklable(f"state not picklable: {exc}")
+        finally:
+            self.stats.serialize_s += time.perf_counter() - t0
+        self._ensure_spawned()
+        self._refresh_fleet()
+        if not self._links:
+            raise BackendUnavailable(
+                "worker-partition",
+                f"no dispatch workers reachable "
+                f"(fleet: {', '.join(self._configured) or 'empty'})")
+        return self._harvest(self._event_loop(tasks, frames))
+
+    def _live(self) -> List[_WorkerLink]:
+        return [self._links[a] for a in self._configured
+                if a in self._links]
+
+    def _event_loop(self, tasks, frames: List[bytes]) -> List[dict]:
+        live = self._live()
+        n = len(live)
+        for k, link in enumerate(live):
+            link.queue = deque(range(k, len(tasks), n))
+            link.inflight = None
+        attempts = [0] * len(tasks)
+        results: Dict[int, dict] = {}
+        for link in list(live):
+            self._feed(link, frames, attempts)
+        while len(results) < len(tasks):
+            live = self._live()
+            if not live:
+                raise BackendUnavailable(
+                    "worker-partition", "all dispatch workers lost mid-batch")
+            ready, _, _ = select.select(live, [], [], 0.5)
+            for link in ready:
+                if link.addr in self._links:  # not killed by an earlier peer
+                    self._pump(link, results, frames, attempts)
+        return [results[i] for i in range(len(tasks))]
+
+    def _feed(self, link: _WorkerLink, frames: List[bytes],
+              attempts: List[int]) -> None:
+        """Give an idle link its next task: own queue first, else steal
+        from the tail of the longest peer queue."""
+        if self._links.get(link.addr) is not link or link.inflight is not None:
+            return
+        if link.queue:
+            i = link.queue.popleft()
+        else:
+            victim = None
+            for peer in self._live():
+                if peer is link or not peer.queue:
+                    continue
+                if victim is None or (len(peer.queue), -peer.index) > \
+                        (len(victim.queue), -victim.index):
+                    victim = peer
+            if victim is None:
+                return
+            i = victim.queue.pop()
+            self.stats.jobs_stolen += 1
+        try:
+            link.sock.sendall(frames[i])
+        except OSError as exc:
+            link.inflight = i  # count it as in flight so it is retried
+            self._on_death(link, f"send failed: {exc}", frames, attempts)
+            return
+        link.inflight = i
+        self.stats.bytes_sent += len(frames[i])
+        self.stats.jobs_dispatched += 1
+
+    def _pump(self, link: _WorkerLink, results: Dict[int, dict],
+              frames: List[bytes], attempts: List[int]) -> None:
+        try:
+            chunk = link.sock.recv(1 << 16)
+        except OSError as exc:
+            self._on_death(link, f"recv failed: {exc}", frames, attempts)
+            return
+        if not chunk:
+            self._on_death(link, "connection closed", frames, attempts)
+            return
+        self.stats.bytes_received += len(chunk)
+        try:
+            link.buf.feed(chunk)
+            msgs = list(link.buf.frames())
+        except ProtocolError as exc:
+            self._on_death(link, f"garbage frame: {exc}", frames, attempts)
+            return
+        for msg in msgs:
+            self._on_reply(link, msg, results, frames, attempts)
+
+    def _on_reply(self, link: _WorkerLink, msg: dict,
+                  results: Dict[int, dict], frames: List[bytes],
+                  attempts: List[int]) -> None:
+        i = msg.get("task")
+        link.inflight = None
+        if not msg.get("ok"):
+            raise _rebuild_exception(msg)
+        t0 = time.perf_counter()
+        out = pickle.loads(base64.b64decode(msg["results"]))
+        self.stats.deserialize_s += time.perf_counter() - t0
+        _tid, res = out[0]
+        res["worker"] = link.addr
+        res["rss_kib"] = int(msg.get("rss_kib", res.get("rss_kib", 0)))
+        results[i] = res
+        self._feed(link, frames, attempts)
+
+    def _on_death(self, link: _WorkerLink, detail: str,
+                  frames: List[bytes], attempts: List[int]) -> None:
+        """A fleet member died mid-batch: classify, pace its rejoin,
+        redistribute its queue, and retry its in-flight task once on a
+        surviving worker."""
+        addr = link.addr
+        self._links.pop(addr, None)
+        link.close()
+        self.stats.workers_lost += 1
+        self._retry_at[addr] = (time.monotonic()
+                                + self._policy_for(addr).next_delay())
+        kind, signature = self._classify(addr, link.inflight is not None)
+        pending = list(link.queue)
+        link.queue.clear()
+        inflight, link.inflight = link.inflight, None
+        if inflight is not None:
+            attempts[inflight] += 1
+            if attempts[inflight] > 1:
+                raise BackendUnavailable(
+                    kind, f"worker {addr} [{signature}] {detail}; "
+                          f"task lost twice, batch restart required")
+            self.stats.jobs_retried += 1
+            pending.insert(0, inflight)
+        self.engine.incidents.record(
+            kind,
+            action="in-batch-retry" if inflight is not None
+            else "redistributed",
+            detail=(f"worker {addr} [{signature}] {detail}; "
+                    f"{len(pending)} task(s) moved to surviving workers"))
+        live = self._live()
+        if not live:
+            raise BackendUnavailable(
+                kind, f"worker {addr} [{signature}] {detail}; "
+                      f"no surviving workers")
+        for t in pending:
+            target = min(live, key=lambda l: (len(l.queue), l.index))
+            target.queue.append(t)
+        for peer in live:
+            self._feed(peer, frames, attempts)
+
+    def _classify(self, addr: str, had_inflight: bool) -> Tuple[str, str]:
+        lp = self._spawned.get(addr)
+        if lp is not None:
+            try:
+                status = lp.proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                status = None
+            if status is not None:
+                from ..fuzz.triage import crash_signature
+
+                signature = crash_signature(lp.stderr_tail())
+                if signature.startswith("UnknownError|?|"):
+                    signature = f"worker-exit|{status}|"
+                return "worker-crash", signature
+        if had_inflight:
+            return "worker-disconnect", "connection-lost"
+        return "worker-partition", "connection-lost"
+
+    # -- recovery / teardown ---------------------------------------------------
+
+    def recover(self) -> None:
+        """Engine-level retry: drop every link (workers loop back to
+        accept) and clear the backoff clocks so the next batch re-dials
+        the whole fleet immediately."""
+        for link in list(self._links.values()):
+            link.close()
+        self._links.clear()
+        for addr in self._configured:
+            self._retry_at[addr] = 0.0
+
+    def close(self) -> None:
+        for addr, link in list(self._links.items()):
+            if addr in self._spawned:
+                try:
+                    link.sock.sendall(encode_frame({"op": "shutdown"}))
+                except OSError:
+                    pass
+            link.close()
+        self._links.clear()
+        for lp in self._spawned.values():
+            lp.stop()
+        self._spawned.clear()
+        for lp in self._pending_spawn:
+            lp.stop()
+        self._pending_spawn.clear()
+
+
+def _rebuild_exception(msg: dict) -> BaseException:
+    """Reconstruct an analyzer exception shipped by a worker so it
+    propagates to the caller exactly as with in-process dispatch."""
+    exc_b64 = msg.get("exc")
+    if exc_b64:
+        try:
+            exc = pickle.loads(base64.b64decode(exc_b64))
+            if isinstance(exc, BaseException):
+                return exc
+        except Exception:
+            pass
+    from .. import errors
+
+    cls = getattr(errors, str(msg.get("error_class", "")), None)
+    detail = msg.get("error", "remote worker error")
+    if isinstance(cls, type) and issubclass(cls, Exception):
+        return cls(detail)
+    return RuntimeError(f"{msg.get('error_class', 'Error')}: {detail}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

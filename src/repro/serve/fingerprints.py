@@ -76,7 +76,8 @@ _NON_SEMANTIC_FIELDS = frozenset({
     "incremental", "lattice_memo_size", "value_intern_size",
     "closure_memo_size", "vectorize", "vectorize_min_cells",
     "jobs", "parallel_min_stmts", "dispatch_retries",
-    "retry_backoff_s", "max_pool_rebuilds", "wall_deadline_s",
+    "retry_backoff_s", "max_pool_rebuilds", "dispatch", "workers",
+    "worker_connect_timeout_s", "wall_deadline_s",
     "rss_limit_kib", "stmt_timeout_s", "watchdog_interval_s",
     "checkpoint_path", "checkpoint_every", "resume_path",
     "checkpoint_halt_after",

@@ -52,19 +52,16 @@ from __future__ import annotations
 
 import json
 import socket
-import struct
 from typing import Dict, Optional
+
+from ..ipc.frames import MAX_FRAME, ProtocolError, recv_frame, send_frame
 
 __all__ = ["MAX_LINE", "ProtocolError", "recv_frame", "recv_message",
            "send_frame", "send_message"]
 
 # One message may carry whole translation units; bound it generously
 # (64 MiB) so a runaway client cannot exhaust daemon memory.
-MAX_LINE = 64 * 1024 * 1024
-
-
-class ProtocolError(Exception):
-    """Malformed frame: oversized line, truncated stream, bad JSON."""
+MAX_LINE = MAX_FRAME
 
 
 def send_message(sock: socket.socket, message: Dict) -> None:
@@ -98,54 +95,7 @@ def error_response(message: str, **extra) -> Dict:
 
 
 # -- length-prefixed frames (daemon <-> worker subprocess pipes) --------------
-
-_FRAME_HEADER = struct.Struct(">I")
-
-
-def send_frame(stream, message: Dict) -> None:
-    """Write one length-prefixed JSON frame to a binary stream and
-    flush it (the worker pipes are fully buffered)."""
-    data = json.dumps(message, separators=(",", ":")).encode()
-    if len(data) > MAX_LINE:
-        raise ProtocolError("frame exceeds size limit")
-    stream.write(_FRAME_HEADER.pack(len(data)) + data)
-    stream.flush()
-
-
-def _read_exact(stream, n: int) -> bytes:
-    """Read exactly n bytes from a buffered binary stream, tolerating
-    short reads (pipes return what is available, not what was asked)."""
-    chunks = []
-    got = 0
-    while got < n:
-        chunk = stream.read(n - got)
-        if not chunk:
-            break
-        chunks.append(chunk)
-        got += len(chunk)
-    return b"".join(chunks)
-
-
-def recv_frame(stream) -> Optional[Dict]:
-    """Read one length-prefixed frame.  Returns None on clean EOF (no
-    header bytes at all); raises ProtocolError on a half-written frame
-    — the tell of a peer that died mid-write."""
-    header = _read_exact(stream, _FRAME_HEADER.size)
-    if not header:
-        return None
-    if len(header) < _FRAME_HEADER.size:
-        raise ProtocolError("truncated frame header (peer died mid-write)")
-    (length,) = _FRAME_HEADER.unpack(header)
-    if length > MAX_LINE:
-        raise ProtocolError("frame exceeds size limit")
-    body = _read_exact(stream, length)
-    if len(body) < length:
-        raise ProtocolError(
-            f"truncated frame body ({len(body)} of {length} bytes)")
-    try:
-        msg = json.loads(body)
-    except ValueError as e:
-        raise ProtocolError(f"bad JSON in frame: {e}")
-    if not isinstance(msg, dict):
-        raise ProtocolError("frame is not a JSON object")
-    return msg
+#
+# ``send_frame``/``recv_frame`` are re-exported from the shared framing
+# module (repro.ipc.frames), which the socket dispatch backend of the
+# parallel engine uses on the same wire format.

@@ -33,7 +33,6 @@ the blocked read fail with EOF, which unblocks the dispatcher.
 from __future__ import annotations
 
 import os
-import select
 import signal
 import subprocess
 import sys
@@ -43,7 +42,8 @@ from collections import deque
 from typing import Dict, List, Optional
 
 from ..errors import ServeError
-from .protocol import MAX_LINE, ProtocolError, send_frame
+from ..ipc.frames import FdFrameReader, FrameTimeout
+from .protocol import ProtocolError, send_frame
 from .store import _atomic_write
 
 __all__ = ["PoisonRegistry", "WorkerCrashed", "WorkerDied",
@@ -97,7 +97,7 @@ class WorkerHandle:
         self.proc = subprocess.Popen(
             argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
             stderr=subprocess.PIPE, env=self._env())
-        self._buf = b""
+        self._reader = FdFrameReader(self.proc.stdout.fileno())
         self._stderr_tail: "deque[bytes]" = deque(maxlen=200)
         self._stderr_passthrough = stderr_passthrough
         self._stderr_thread = threading.Thread(
@@ -152,49 +152,20 @@ class WorkerHandle:
         return self._recv_frame(deadline)
 
     def _recv_frame(self, deadline: Optional[float]) -> Dict:
-        header = self._read_exact(4, deadline)
-        if not header:
-            raise WorkerDied("worker closed its pipe (EOF)")
-        if len(header) < 4:
-            raise WorkerDied("half-written frame header (died mid-write)")
-        length = int.from_bytes(header, "big")
-        if length > MAX_LINE:
-            raise WorkerDied(f"oversized frame ({length} bytes)")
-        body = self._read_exact(length, deadline)
-        if len(body) < length:
-            raise WorkerDied(f"half-written frame body "
-                             f"({len(body)} of {length} bytes)")
-        import json
-
+        # The shared deadline-bounded reader (repro.ipc.frames) does the
+        # byte work; every failure mode maps onto WorkerDied, which is
+        # what the supervisor's crash classification keys on.
         try:
-            msg = json.loads(body)
-        except ValueError as e:
-            raise WorkerDied(f"garbage frame from worker: {e}")
-        if not isinstance(msg, dict):
-            raise WorkerDied("worker frame is not a JSON object")
+            msg = self._reader.recv_frame(deadline)
+        except FrameTimeout:
+            raise WorkerDied("worker exceeded the hard job deadline",
+                             timed_out=True)
+        except ProtocolError as e:
+            raise WorkerDied(f"half-written or garbage frame from "
+                             f"worker: {e}")
+        if msg is None:
+            raise WorkerDied("worker closed its pipe (EOF)")
         return msg
-
-    def _read_exact(self, n: int, deadline: Optional[float]) -> bytes:
-        fd = self.proc.stdout.fileno()
-        while len(self._buf) < n:
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise WorkerDied(
-                        "worker exceeded the hard job deadline",
-                        timed_out=True)
-                wait = min(0.2, remaining)
-            else:
-                wait = 0.2
-            ready, _, _ = select.select([fd], [], [], wait)
-            if not ready:
-                continue
-            chunk = os.read(fd, 1 << 16)
-            if not chunk:
-                break  # EOF: the caller decides if that is clean
-            self._buf += chunk
-        out, self._buf = self._buf[:n], self._buf[n:]
-        return out
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -21,17 +21,38 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-__all__ = ["ResourceBudget", "BudgetWatchdog", "peak_rss_kib"]
+__all__ = ["ResourceBudget", "BudgetWatchdog", "peak_rss_kib",
+           "peak_rss_self_kib"]
 
 
 def peak_rss_kib() -> int:
-    """Peak RSS of this process plus its (worker) children, in KiB."""
+    """Peak RSS of this process plus its (worker) children, in KiB.
+
+    Socket-dispatch workers (:mod:`repro.parallel.remote`) are *not*
+    children of the analyzer and are invisible to this reading; they
+    report their own :func:`peak_rss_self_kib` over the wire and the
+    dispatch backend aggregates the fleet maximum (see
+    ``AnalysisResult.fleet_peak_rss_kib``).
+    """
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX
         return 0
     rss = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
            + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        rss //= 1024
+    return int(rss)
+
+
+def peak_rss_self_kib() -> int:
+    """Peak RSS of this process only, in KiB (what a dispatch worker
+    reports about itself in job results)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
         rss //= 1024
     return int(rss)

@@ -56,8 +56,10 @@ def context_fingerprint(ctx) -> str:
     Deliberately excluded: the sharing/memoization knobs (incremental,
     lattice_memo_size, value_intern_size, closure_memo_size), the
     vectorized-kernel knobs (vectorize, vectorize_min_cells — the
-    batched numpy backend is bit-identical to the scalar oracle) and
-    jobs.  They affect physical identity and wall time only — results
+    batched numpy backend is bit-identical to the scalar oracle), jobs
+    and the dispatch backend/fleet (dispatch, workers — scheduling only,
+    never merge order).  They affect physical identity and wall time
+    only — results
     are bit-identical across their settings — so a checkpoint written
     under one setting must resume under any other.  (The intern pools are
     process-local; resume re-canonicalizes via reintern_env, keyed on

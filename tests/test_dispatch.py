@@ -1,0 +1,378 @@
+"""Dispatch-backend differential and fault-injection tests.
+
+The engine's contract is that the dispatch backend — inline, pool or
+socket, at any jobs=N, under any scheduling accident (steals, retries,
+workers joining or leaving mid-fixpoint) — produces results
+*byte-identical* to the sequential analysis.  A 20-seed sweep crosses
+``dispatch x jobs x incremental x vectorize`` against per-seed
+sequential references; the fault units then inject worker crashes,
+partitions, slow workers (steal bait), version mismatches and late
+joiners into the socket fleet and hold recovery to the same standard.
+"""
+
+import dataclasses
+import os
+import socket as socketlib
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.config import AnalyzerConfig
+from repro.frontend import compile_source
+from repro.parallel.remote import parse_worker_addr
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+# ---------------------------------------------------------------------------
+# Worker fleet helpers
+# ---------------------------------------------------------------------------
+
+
+def _spawn_worker(listen="127.0.0.1:0", env_extra=None):
+    """Start one dispatch worker; return (proc, address)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC_ROOT, env.get("PYTHONPATH")) if p)
+    env.update(env_extra or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.parallel.remote", "--listen", listen],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env)
+    deadline = time.monotonic() + 60.0
+    line = b""
+    while b"\n" not in line:
+        assert time.monotonic() < deadline, "worker did not start"
+        chunk = os.read(proc.stdout.fileno(), 4096)
+        assert chunk, "worker died before announcing its address"
+        line += chunk
+    text = line.split(b"\n", 1)[0].decode()
+    addr = text.split("listening on ", 1)[1].strip()
+    return proc, addr
+
+
+def _stop_worker(proc):
+    if proc.poll() is None:
+        proc.terminate()
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5.0)
+    proc.stdout.close()
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Two plain workers shared by every socket run in the sweep (a
+    worker serves one analyzer connection at a time and loops back to
+    accept, so sequential runs reuse the same fleet)."""
+    workers = [_spawn_worker() for _ in range(2)]
+    yield tuple(addr for _, addr in workers)
+    for proc, _ in workers:
+        _stop_worker(proc)
+
+
+# ---------------------------------------------------------------------------
+# Program family: independent subsystems, seed-varied shape
+# ---------------------------------------------------------------------------
+
+
+def _subsystem_source(nsub, width):
+    """Independent float filter subsystems (the paper's program family).
+
+    Deliberately no *persistent* integer state cells: on clock-tracked
+    integer counters the incremental engine's splices already produce a
+    (sound, tighter) invariant than full re-execution on today's trunk —
+    a pre-existing sequential-engine divergence, reproducible at jobs=1
+    with no dispatch backend involved — and a differential suite for
+    *dispatch* must not sit on top of it.  Volatile int inputs and local
+    int counters keep integer transfer functions in the mix."""
+    lines = []
+    for k in range(nsub):
+        lines.append(f"volatile float in{k}_a;")
+        lines.append(f"volatile int in{k}_b;")
+        lines.append(f"float s{k}_x; float s{k}_y; float s{k}_tab[{width}];")
+    for k in range(nsub):
+        lines.append(f"""
+void step_{k}(void) {{
+    float e; int j; int m;
+    e = in{k}_a;
+    if (e > 100.0f) {{ e = 100.0f; }}
+    if (e < -100.0f) {{ e = -100.0f; }}
+    m = in{k}_b;
+    j = 0;
+    while (j < {width}) {{
+        s{k}_tab[j] = 0.8f * s{k}_tab[j] + 0.2f * e;
+        j = j + 1;
+    }}
+    s{k}_x = 0.9f * s{k}_x + 0.1f * e;
+    if (m) {{ s{k}_y = s{k}_x; }} else {{ s{k}_y = 0.0f; }}
+}}""")
+    lines.append("int main(void) {")
+    lines.append("  while (1) {")
+    for k in range(nsub):
+        lines.append(f"    step_{k}();")
+    lines.append("    __ASTREE_wait_for_clock();")
+    lines.append("  }")
+    lines.append("  return 0;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _case(seed, **overrides):
+    """Seed-varied program + config (dispatchable by construction)."""
+    nsub = 2 + seed % 3
+    width = 4 + (seed * 3) % 7
+    src = _subsystem_source(nsub, width)
+    amp = 100.0 + 20.0 * (seed % 7)
+    ranges = {}
+    for k in range(nsub):
+        ranges[f"in{k}_a"] = (-amp, amp)
+        ranges[f"in{k}_b"] = (0.0, 1.0)
+    cfg = AnalyzerConfig(input_ranges=ranges,
+                         max_clock=800 + 100 * (seed % 5),
+                         parallel_min_stmts=8,
+                         collect_invariants=True, **overrides)
+    return compile_source(src, f"subsys_{seed}.c"), cfg
+
+
+def _snapshot(result, work_counters=True):
+    """Everything the determinism contract promises, plus (optionally)
+    the widening *work* counter.  Dispatched units execute in full mode
+    inside workers (fixpoint journals are process-local), so under
+    ``incremental=True`` the jobs=1 run skips widening work that workers
+    redo — the counter legitimately differs while every semantic field
+    stays bit-identical.  Sweep rows with incremental on therefore drop
+    it; everything else compares it too."""
+    stats = result.invariant_stats()
+    snap = {
+        "alarms": [(a.kind, a.loc.line, a.loc.col, a.message)
+                   for a in result.alarms],
+        "exit_code": result.exit_code,
+        "invariant": result.dump_invariant_text(),
+        "stats": dataclasses.asdict(stats),
+        "useful_oct": sorted(result.useful_octagon_packs),
+        "useful_bool": result.useful_bool_pack_count,
+    }
+    if work_counters:
+        snap["widening"] = result.widening_iterations
+    return snap
+
+
+# ---------------------------------------------------------------------------
+# Differential sweep: dispatch x jobs x incremental x vectorize
+# ---------------------------------------------------------------------------
+
+DISPATCHES = ("inline", "pool", "socket")
+
+SWEEP = [(s, DISPATCHES[s % 3], 2 + s % 2,
+          (s // 2) % 2 == 0, (s // 3) % 2 == 0)
+         for s in range(20)]
+
+
+class TestDifferentialSweep:
+    @pytest.mark.parametrize("seed,dispatch,jobs,incremental,vectorize",
+                             SWEEP)
+    def test_bit_identical_to_sequential(self, fleet, seed, dispatch, jobs,
+                                         incremental, vectorize):
+        prog, cfg = _case(seed, incremental=incremental,
+                          vectorize=vectorize)
+        seq = analyze_program(prog, cfg, jobs=1)
+        par_cfg = dataclasses.replace(
+            cfg, dispatch=dispatch,
+            workers=fleet if dispatch == "socket" else ())
+        par = analyze_program(prog, par_cfg, jobs=jobs)
+        assert (_snapshot(seq, work_counters=not incremental)
+                == _snapshot(par, work_counters=not incremental))
+        assert par.dispatch == dispatch
+        assert par.dispatch_jobs_dispatched > 0, "nothing was dispatched"
+        if dispatch == "socket":
+            assert par.dispatch_bytes_shipped > 0
+            assert par.dispatch_workers_joined >= 1
+            # Remote workers are invisible to the parent's ru_maxrss:
+            # their RSS must arrive over the wire and be aggregated.
+            assert par.worker_rss_kib
+            assert set(par.worker_rss_kib) <= set(fleet)
+            assert (par.fleet_peak_rss_kib
+                    >= max(par.worker_rss_kib.values()))
+            assert par.fleet_peak_rss_kib >= par.peak_rss_kib
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+def _fault_case():
+    # nsub=3, width=4: quick but many work units.  incremental off so the
+    # widening work counter is part of the comparison too (see _snapshot).
+    return _case(7, incremental=False)
+
+
+def _incident_pairs(result):
+    return {(i.kind, i.action) for i in result.incidents}
+
+
+class TestSocketFaults:
+    def test_worker_killed_mid_job(self, tmp_path, monkeypatch):
+        """A spawned worker hard-exits mid-job (SIGKILL/OOM stand-in):
+        the job is retried once on a surviving worker, the batch
+        completes, and the result stays bit-identical."""
+        prog, cfg = _fault_case()
+        seq = analyze_program(prog, cfg, jobs=1)
+        marker = tmp_path / "crash-marker"
+        marker.write_text("")
+        monkeypatch.setenv("REPRO_FAULT_WORKER_CRASH", str(marker))
+        par = analyze_program(
+            prog, dataclasses.replace(cfg, dispatch="socket"), jobs=2)
+        assert _snapshot(seq) == _snapshot(par)
+        assert par.dispatch_jobs_retried >= 1
+        assert par.dispatch_workers_lost >= 1
+        assert ("worker-crash", "in-batch-retry") in _incident_pairs(par)
+
+    def test_partition_mid_job(self, tmp_path, monkeypatch):
+        """A worker drops the connection mid-job without replying (a
+        network partition): classified as a mid-job disconnect, retried
+        once on a peer, bit-identical result."""
+        prog, cfg = _fault_case()
+        seq = analyze_program(prog, cfg, jobs=1)
+        marker = tmp_path / "close-marker"
+        marker.write_text("")
+        monkeypatch.setenv("REPRO_FAULT_REMOTE_CLOSE", str(marker))
+        par = analyze_program(
+            prog, dataclasses.replace(cfg, dispatch="socket"), jobs=2)
+        assert _snapshot(seq) == _snapshot(par)
+        assert par.dispatch_jobs_retried >= 1
+        assert ("worker-disconnect", "in-batch-retry") in \
+            _incident_pairs(par)
+
+    def test_slow_worker_is_stolen_from(self):
+        """Work-stealing: an idle fast worker takes tasks from the tail
+        of a slow worker's queue — scheduling changes, results don't.
+
+        Needs >= 4 units per batch: with 2 links and round-robin seeding
+        the slow link must hold a *queued* task behind its inflight one,
+        or there is nothing to steal."""
+        prog, cfg = _case(2, incremental=False)  # nsub=4
+        seq = analyze_program(prog, cfg, jobs=1)
+        fast, addr_fast = _spawn_worker()
+        slow, addr_slow = _spawn_worker(
+            env_extra={"REPRO_FAULT_REMOTE_SLOW_S": "0.1"})
+        try:
+            par = analyze_program(prog, dataclasses.replace(
+                cfg, dispatch="socket", workers=(addr_fast, addr_slow)))
+            assert _snapshot(seq) == _snapshot(par)
+            assert par.dispatch_jobs_stolen > 0
+        finally:
+            _stop_worker(fast)
+            _stop_worker(slow)
+
+    def test_version_mismatch_excluded(self):
+        """A worker speaking the wrong protocol version is excluded
+        permanently at handshake; the rest of the fleet carries the
+        run."""
+        prog, cfg = _fault_case()
+        seq = analyze_program(prog, cfg, jobs=1)
+        good, addr_good = _spawn_worker()
+        bad, addr_bad = _spawn_worker(
+            env_extra={"REPRO_FAULT_REMOTE_VERSION": "999"})
+        try:
+            par = analyze_program(prog, dataclasses.replace(
+                cfg, dispatch="socket", workers=(addr_good, addr_bad)))
+            assert _snapshot(seq) == _snapshot(par)
+            assert ("worker-version-mismatch", "excluded") in \
+                _incident_pairs(par)
+            assert addr_bad not in par.worker_rss_kib
+            assert addr_good in par.worker_rss_kib
+        finally:
+            _stop_worker(good)
+            _stop_worker(bad)
+
+    def test_elastic_join_mid_fixpoint(self):
+        """A configured worker that comes up *after* the analysis
+        starts joins the fleet at a batch boundary (elastic join) —
+        until then its address is skipped with paced re-dials."""
+        prog, cfg = _case(2, incremental=False)  # nsub=4
+        seq = analyze_program(prog, cfg, jobs=1)
+        tmp = tempfile.mkdtemp(prefix="repro-disp-")
+        addr_a = f"unix:{os.path.join(tmp, 'a.sock')}"
+        addr_b = f"unix:{os.path.join(tmp, 'b.sock')}"
+        # Worker A is slowed per job so the fixpoint is guaranteed to
+        # outlast worker B's startup (interpreter + imports take a few
+        # hundred ms) no matter how warm the analyzer caches are.
+        first, _ = _spawn_worker(
+            listen=addr_a, env_extra={"REPRO_FAULT_REMOTE_SLOW_S": "0.05"})
+        late_holder = {}
+
+        def start_late():
+            late_holder["proc"], _ = _spawn_worker(listen=addr_b)
+
+        t = threading.Thread(target=start_late)
+        t.start()
+        try:
+            par = analyze_program(prog, dataclasses.replace(
+                cfg, dispatch="socket", workers=(addr_a, addr_b)))
+            assert _snapshot(seq) == _snapshot(par)
+            assert par.dispatch_workers_joined == 2
+            assert addr_b in par.worker_rss_kib
+            assert ("worker-unreachable", "deferred-join") in \
+                _incident_pairs(par)
+        finally:
+            t.join()
+            _stop_worker(first)
+            if "proc" in late_holder:
+                _stop_worker(late_holder["proc"])
+
+    def test_unreachable_fleet_falls_back_sequential(self):
+        """No worker reachable at all: the retry budget drains, the
+        engine disables itself, and the analysis finishes sequentially
+        with an identical verdict (failures degrade speed, never
+        soundness)."""
+        prog, cfg = _fault_case()
+        seq = analyze_program(prog, cfg, jobs=1)
+        par = analyze_program(prog, dataclasses.replace(
+            cfg, dispatch="socket", workers=("127.0.0.1:1",),
+            worker_connect_timeout_s=0.2, retry_backoff_s=0.01))
+        assert _snapshot(seq) == _snapshot(par)
+        pairs = _incident_pairs(par)
+        assert ("worker-partition", "gave-up") in pairs
+        assert ("parallel-disabled", "sequential-fallback") in pairs
+        assert par.dispatch_jobs_dispatched == 0
+
+
+# ---------------------------------------------------------------------------
+# Address parsing
+# ---------------------------------------------------------------------------
+
+
+class TestAddresses:
+    def test_tcp(self):
+        assert parse_worker_addr("127.0.0.1:9100") == \
+            ("tcp", ("127.0.0.1", 9100))
+
+    def test_unix(self):
+        assert parse_worker_addr("unix:/tmp/w.sock") == \
+            ("unix", "/tmp/w.sock")
+
+    @pytest.mark.parametrize("bad", ["", "unix:", "nohost", "host:port",
+                                     ":9100"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError, match="bad worker address"):
+            parse_worker_addr(bad)
+
+    def test_worker_announces_chosen_port(self):
+        proc, addr = _spawn_worker()
+        try:
+            kind, (host, port) = parse_worker_addr(addr)
+            assert kind == "tcp" and host == "127.0.0.1" and port > 0
+            # The announced port is genuinely connectable.
+            sock = socketlib.create_connection((host, port), timeout=5.0)
+            sock.close()
+        finally:
+            _stop_worker(proc)
