@@ -69,6 +69,13 @@ class AnalysisResult:
     useful_bool_pack_count: int
     filter_site_count: int
     loop_invariants: Dict[int, AbstractState] = field(default_factory=dict)
+    # Certificate records (repro.certify, populated under
+    # config.certify): per loop occurrence of the checking-mode
+    # traversal, in traversal order, the (stable statement ordinal,
+    # pre-narrowing post-fixpoint, checking-pass invariant) triple the
+    # certificate emitter packages for independent validation.
+    cert_invariants: List[Tuple[int, AbstractState, AbstractState]] = \
+        field(default_factory=list)
     # sid -> abstract visit count (only populated when config.trace is on).
     visit_counts: Dict[int, int] = field(default_factory=dict)
     # Per-phase wall time: parse, packing, iteration, checking (Fig. 2's
@@ -411,6 +418,7 @@ def analyze_program(prog: IRProgram, config: Optional[AnalyzerConfig] = None,
         useful_bool_pack_count=len(ctx.useful_bool_packs),
         filter_site_count=len(sites),
         loop_invariants=it.loop_invariants,
+        cert_invariants=it.cert_invariants,
         visit_counts=it.visit_counts,
         phase_times=phases,
         peak_rss_kib=rss,

@@ -1,0 +1,189 @@
+"""The on-disk certificate artifact.
+
+A certificate is a single JSON document::
+
+    {"format": "astree-repro-certificate", "version": 1,
+     "digest": sha256(canonical(payload)), "payload": {...}}
+
+The payload carries everything the independent checker needs to
+re-validate the result from scratch — the source units, the entry
+point, the (performance-normalized) analysis configuration, a
+deduplicated table of pickled abstract states, the per-statement
+(pre, post) records and per-loop-occurrence invariants of the
+checking-mode traversal in traversal order, the claimed alarm set,
+and the final state — making the artifact content-addressed: the
+digest is recomputed over the canonical serialization on load, so a
+flipped byte anywhere is detected before any state is unpickled.
+
+Statements are identified by their *stable ordinal* (depth-first
+position over functions in sorted name order, see
+``repro.serve.fingerprints.stable_ordinals``), never by raw statement
+ids: ids are process-global counters and do not survive
+re-compilation of the same source in the checking process.
+
+Every malformation — missing file, truncation, non-JSON bytes, an
+unknown format or version, a digest mismatch, an unpicklable state —
+maps to :class:`repro.errors.CertificateError`, which the CLI reports
+as a located ``phase=certify`` incident (exit 3), mirroring the
+checkpoint/store hardening.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CertificateError
+
+__all__ = ["CERT_FORMAT", "CERT_VERSION", "StateTable", "decode_blob",
+           "decode_config", "encode_config", "encode_state",
+           "load_certificate", "payload_digest", "save_certificate"]
+
+CERT_FORMAT = "astree-repro-certificate"
+CERT_VERSION = 1
+
+# Pinned pickle protocol: the artifact crosses interpreter versions
+# (written on one machine, checked on another), so the writer never
+# silently upgrades to a protocol an older reader cannot parse.
+_PICKLE_PROTOCOL = 4
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True).encode("ascii")
+
+
+def payload_digest(payload: dict) -> str:
+    """Content address of a certificate payload (recompute after any
+    deliberate mutation in tests, or the digest check fires first)."""
+    return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+def encode_state(state) -> bytes:
+    """Pickle an AbstractState to a compressed, context-free blob
+    (states re-attach to the active context on decode)."""
+    return zlib.compress(pickle.dumps(state, _PICKLE_PROTOCOL))
+
+
+def decode_blob(blob_b64: str, what: str):
+    """Decode one base64(zlib(pickle)) blob; requires the target
+    ``AnalysisContext`` to be installed via ``set_active_context``."""
+    try:
+        return pickle.loads(zlib.decompress(base64.b64decode(blob_b64)))
+    except Exception as exc:  # corrupt b64/zlib/pickle, bad opcodes, ...
+        raise CertificateError(f"certificate {what} does not decode: {exc}")
+
+
+def encode_config(cfg) -> str:
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(cfg, _PICKLE_PROTOCOL))).decode("ascii")
+
+
+def decode_config(blob_b64: str):
+    from ..config import AnalyzerConfig
+
+    cfg = decode_blob(blob_b64, "configuration")
+    if not isinstance(cfg, AnalyzerConfig):
+        raise CertificateError(
+            f"certificate configuration decodes to {type(cfg).__name__}, "
+            f"expected AnalyzerConfig")
+    return cfg
+
+
+class StateTable:
+    """Deduplicating id table for the payload's abstract states.
+
+    Emission-side only: states are keyed first by physical identity
+    (record chains share post/pre objects heavily) and then by blob
+    digest, so the table stores each distinct lattice element once."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, str] = {}
+        self._by_digest: Dict[str, str] = {}
+        self._keepalive: List[object] = []
+        self.blobs: Dict[str, str] = {}  # table id -> base64 blob
+
+    def add(self, state) -> str:
+        sid = self._by_id.get(id(state))
+        if sid is not None:
+            return sid
+        blob = encode_state(state)
+        digest = hashlib.sha256(blob).hexdigest()
+        sid = self._by_digest.get(digest)
+        if sid is None:
+            sid = f"s{len(self.blobs)}"
+            self._by_digest[digest] = sid
+            self.blobs[sid] = base64.b64encode(blob).decode("ascii")
+        # Keep the state alive so the id() key can never be reused.
+        self._by_id[id(state)] = sid
+        self._keepalive.append(state)
+        return sid
+
+
+def save_certificate(cert: dict, path: str) -> None:
+    """Atomically persist a certificate (write-to-temp + rename)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="ascii") as f:
+        json.dump(cert, f, sort_keys=True, separators=(",", ":"),
+                  ensure_ascii=True)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise CertificateError(message)
+
+
+def validate_envelope(cert: object, origin: str = "certificate") -> dict:
+    """Structural + content-address validation of a loaded certificate.
+    Returns the verified payload dict."""
+    _require(isinstance(cert, dict), f"{origin}: not a certificate object")
+    _require(cert.get("format") == CERT_FORMAT,
+             f"{origin}: unknown format {cert.get('format')!r} "
+             f"(expected {CERT_FORMAT!r})")
+    version = cert.get("version")
+    _require(version == CERT_VERSION,
+             f"{origin}: version {version!r} is not supported by this "
+             f"checker (expected {CERT_VERSION})")
+    payload = cert.get("payload")
+    _require(isinstance(payload, dict), f"{origin}: missing payload")
+    digest = cert.get("digest")
+    _require(isinstance(digest, str), f"{origin}: missing digest")
+    actual = payload_digest(payload)
+    _require(actual == digest,
+             f"{origin}: content digest mismatch ({actual[:12]}… vs "
+             f"claimed {digest[:12]}…): the artifact was modified or "
+             f"corrupted after emission")
+    for key, typ in (("sources", list), ("entry", str), ("config", str),
+                     ("states", dict), ("stmt_records", list),
+                     ("loop_records", list), ("alarms", list),
+                     ("final", str)):
+        _require(isinstance(payload.get(key), typ),
+                 f"{origin}: payload field {key!r} is missing or malformed")
+    return payload
+
+
+def load_certificate(path: str) -> dict:
+    """Load and verify a certificate file's envelope (format, version,
+    content digest, payload shape).  Semantic validation is
+    :func:`repro.certify.check_certificate`'s job."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            cert = json.load(f)
+    except FileNotFoundError:
+        raise CertificateError(f"certificate file not found: {path}")
+    except OSError as exc:
+        raise CertificateError(f"cannot read certificate {path}: {exc}")
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CertificateError(
+            f"certificate {path} is not valid JSON (truncated or "
+            f"corrupted): {exc}")
+    validate_envelope(cert, origin=f"certificate {path}")
+    return cert

@@ -5,7 +5,10 @@ Subcommands:
 * ``analyze FILE...`` — analyze C sources and print alarms;
 * ``generate --kloc N --seed S`` — emit a family program to stdout;
 * ``slice FILE --line L`` — backward slice from the alarm nearest a line;
-* ``fuzz`` — run a soundness fuzzing campaign (or ``--replay`` one case).
+* ``fuzz`` — run a soundness fuzzing campaign (or ``--replay`` one case);
+* ``check-certificate CERT`` — independently validate an invariant
+  certificate written by ``analyze --emit-certificate`` (exit 0 valid and
+  alarm-free, 1 valid with alarms, 3 invalid — ``phase=certify``).
 
 Exit codes (``analyze``; see :class:`repro.errors.ExitCode` and
 docs/robustness.md): 0 all properties proved, 1 alarms at full
@@ -28,8 +31,8 @@ from typing import List, Optional
 from .analysis import analyze
 from .config import AnalyzerConfig, baseline_config
 from .errors import (
-    AnalysisError, CheckpointError, ExitCode, LinkError, ReproError,
-    ServeError, SourceError, SupervisorHalt,
+    AnalysisError, CertificateError, CheckpointError, ExitCode, LinkError,
+    ReproError, ServeError, SourceError, SupervisorHalt,
 )
 from .frontend import read_source_file
 
@@ -91,13 +94,19 @@ def _build_config(args) -> AnalyzerConfig:
         overrides["checkpoint_every"] = args.checkpoint_every
     if getattr(args, "resume", None) is not None:
         overrides["resume_path"] = args.resume
+    if getattr(args, "certify", False) or \
+            getattr(args, "emit_certificate", None):
+        overrides["certify"] = True
     return base.with_overrides(**overrides)
 
 
 def _print_stats(result) -> None:
     pt = result.phase_times
     print("-- stats --")
-    for phase in ("parse", "packing", "iteration", "checking"):
+    phases = ["parse", "packing", "iteration", "checking"]
+    if "certify" in pt:
+        phases.append("certify")
+    for phase in phases:
         print(f"  {phase:<10} {pt.get(phase, 0.0):8.3f}s")
         if phase == "iteration" and "iteration-transfer" in pt:
             print(f"    transfer {pt['iteration-transfer']:8.3f}s")
@@ -160,6 +169,35 @@ def cmd_analyze(args) -> int:
     sources = [(path, read_source_file(path)) for path in args.files]
     cfg = _build_config(args)
     result = analyze(sources, config=cfg, entry=args.entry)
+    certification = None
+    if args.certify or args.emit_certificate:
+        import time as _time
+
+        from .certify import (build_certificate, certify_result,
+                              save_certificate)
+
+        t0 = _time.perf_counter()
+        if args.emit_certificate:
+            cert = build_certificate(result, sources)
+            save_certificate(cert, args.emit_certificate)
+            meta = cert["payload"]["meta"]
+            certification = {
+                "stmt_records": len(cert["payload"]["stmt_records"]),
+                "loop_records": len(cert["payload"]["loop_records"]),
+                "substitutions": meta["substitutions"],
+                "claimed_alarms": len(cert["payload"]["alarms"]),
+                "digest": cert["digest"],
+                "path": args.emit_certificate,
+            }
+        else:
+            summ = certify_result(result, sources)
+            certification = {
+                "stmt_records": summ.stmt_records,
+                "loop_records": summ.loop_records,
+                "substitutions": summ.substitutions,
+                "claimed_alarms": summ.claimed_alarms,
+            }
+        result.phase_times["certify"] = _time.perf_counter() - t0
     if args.json:
         payload = {
             "alarms": [
@@ -183,6 +221,8 @@ def cmd_analyze(args) -> int:
             ],
             "exit_code": result.exit_code,
         }
+        if certification is not None:
+            payload["certification"] = certification
         if args.stats or args.profile_phases:
             payload["phase_times_s"] = result.phase_times
             payload["peak_rss_kib"] = result.peak_rss_kib
@@ -224,6 +264,14 @@ def cmd_analyze(args) -> int:
               f"{len(result.useful_octagon_packs)} useful; "
               f"{result.bool_pack_count} boolean packs; "
               f"{result.filter_site_count} filter sites)")
+        if certification is not None:
+            where = (f", written to {certification['path']}"
+                     if "path" in certification else "")
+            print(f"-- certified: {certification['stmt_records']} "
+                  f"statement record(s), "
+                  f"{certification['loop_records']} loop invariant(s), "
+                  f"{certification['substitutions']} narrowing "
+                  f"substitution(s){where}")
         if result.degraded:
             print("-- DEGRADED: a resource budget tripped; the verdict is "
                   "sound but coarser than the configured precision "
@@ -316,6 +364,37 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_check_certificate(args) -> int:
+    from .certify import check_certificate
+
+    chk = check_certificate(args.certificate)
+    if args.json:
+        print(json.dumps({
+            "valid": True,
+            "entry": chk.entry,
+            "source_digest": chk.source_digest,
+            "config_fingerprint": chk.config_fingerprint,
+            "stmts_checked": chk.stmts_checked,
+            "loops_checked": chk.loops_checked,
+            "claimed_alarms": chk.claimed_alarms,
+            "replay_alarms": chk.replay_alarms,
+            "wall_s": chk.wall_s,
+            "exit_code": chk.exit_code,
+        }, indent=2))
+    else:
+        print(f"certificate valid: {chk.stmts_checked} statement "
+              f"record(s), {chk.loops_checked} loop invariant(s) "
+              f"re-verified in {chk.wall_s:.3f}s "
+              f"(entry {chk.entry}, sources {chk.source_digest[:12]})")
+        if chk.claimed_alarms:
+            print(f"-- the certified run carries {chk.claimed_alarms} "
+                  f"alarm(s) ({chk.replay_alarms} re-raised by the "
+                  f"replay): exit 1")
+        else:
+            print("-- the certified run proved every property: exit 0")
+    return chk.exit_code
+
+
 def cmd_serve(args) -> int:
     import signal
     import threading
@@ -333,6 +412,7 @@ def cmd_serve(args) -> int:
         isolate_jobs=args.isolate_jobs,
         drain_deadline_s=args.drain_deadline,
         backoff_seed=args.backoff_seed,
+        certify_serve=args.certify_serve,
     )
     server = AnalysisServer(sc)
     # SIGTERM/SIGINT start a graceful drain: stop accepting, settle the
@@ -530,6 +610,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="crossover heuristic: minimum differing float "
                          "cells in one environment merge before the "
                          "batched kernel engages (default 16)")
+    pa.add_argument("--certify", action="store_true",
+                    help="record invariant certificates during the run and "
+                         "validate the result by an independent "
+                         "one-application replay (fails exit 3 with "
+                         "phase=certify if the result is not a "
+                         "re-verifiable post-fixpoint)")
+    pa.add_argument("--emit-certificate", dest="emit_certificate",
+                    default=None, metavar="PATH",
+                    help="write the validated, content-addressed "
+                         "certificate artifact to PATH (implies "
+                         "--certify; check later with "
+                         "'astree-repro check-certificate PATH')")
     pa.add_argument("--stats", action="store_true",
                     help="report per-phase wall time and peak RSS")
     pa.add_argument("--profile-phases", dest="profile_phases",
@@ -628,6 +720,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="suppress per-case progress lines")
     pf.set_defaults(func=cmd_fuzz)
 
+    pcc = sub.add_parser(
+        "check-certificate",
+        help="independently validate an invariant certificate")
+    pcc.add_argument("certificate", metavar="CERT",
+                     help="certificate file written by "
+                          "analyze --emit-certificate")
+    pcc.add_argument("--json", action="store_true")
+    pcc.set_defaults(func=cmd_check_certificate)
+
     pv = sub.add_parser("serve",
                         help="run the analysis daemon on a Unix socket")
     pv.add_argument("--socket", default="astree-serve.sock", metavar="PATH",
@@ -659,6 +760,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     pv.add_argument("--backoff-seed", type=int, default=None, metavar="N",
                     help="seed for worker restart backoff jitter "
                          "(deterministic chaos tests)")
+    pv.add_argument("--certify-serve", dest="certify_serve",
+                    choices=("off", "sampled", "all"), default="sampled",
+                    help="validate journal-warmed results by invariant "
+                         "certification before they are cached or "
+                         "returned: every warm hit (all), a "
+                         "deterministic 1-in-8 sample (sampled, the "
+                         "default), or never (off); a warm result that "
+                         "fails certification is discarded and re-run "
+                         "cold")
     pv.set_defaults(func=cmd_serve)
 
     pc = sub.add_parser("client",
@@ -711,6 +821,8 @@ def _error_phase(exc: BaseException) -> str:
     """Coarse phase classification for the structured diagnostic."""
     if isinstance(exc, (SourceError, LinkError)):
         return "frontend"
+    if isinstance(exc, CertificateError):
+        return "certify"
     if isinstance(exc, CheckpointError):
         return "checkpoint"
     if isinstance(exc, ServeError):

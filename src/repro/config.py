@@ -168,6 +168,17 @@ class AnalyzerConfig:
     # SupervisorHalt after this many checkpoints have been written.
     checkpoint_halt_after: Optional[int] = None
 
+    # -- result certification (repro.certify) -----------------------------------
+    # Record, for every loop occurrence of the checking-mode traversal,
+    # the invariant the final checking pass ran from plus the
+    # pre-narrowing post-fixpoint it was narrowed from.  The records feed
+    # the certificate emitter (--certify / --emit-certificate), which
+    # packages them into an engine-independent, content-addressed
+    # artifact validated by ``astree-repro check-certificate``.  A pure
+    # observation knob: results are unchanged, so it is excluded from the
+    # checkpoint and serve fingerprints like ``vectorize``.
+    certify: bool = False
+
     # -- reporting --------------------------------------------------------------------
     collect_invariants: bool = False
     # Tracing facilities (Sect. 5.3): when on, the iterator counts abstract

@@ -15,6 +15,15 @@ abstract values provided by each different basic abstract domain" (Sect.
 
 The module also defines :class:`ClockInfo`, the abstract value of the
 hidden clock itself.
+
+The domain layer — this module, the relational domains, and their
+``transfer``/``includes``/``join``/guard operations — is the trusted
+computing base of result certification (``repro.certify``): the
+independent checker re-derives every claimed invariant through these
+operations alone, so a fixpoint-engine bug cannot forge a certificate,
+but a containment bug *here* could.  These operations are pinned
+independently by the hypothesis property tests
+(``tests/test_domain_properties.py``, ``tests/test_intervals.py``).
 """
 
 from __future__ import annotations

@@ -13,6 +13,7 @@ __all__ = [
     "UnsupportedConstructError",
     "LinkError",
     "AnalysisError",
+    "CertificateError",
     "CheckpointError",
     "SupervisorHalt",
     "ServeError",
@@ -88,6 +89,15 @@ class AnalysisError(ReproError):
 class CheckpointError(ReproError):
     """A checkpoint file is missing, corrupt, or belongs to a different
     program/configuration (fingerprint mismatch)."""
+
+
+class CertificateError(ReproError):
+    """An invariant certificate could not be emitted or did not validate:
+    the file is missing/corrupt/wrong-version, or an independent
+    re-application of the transfer functions found a certified state that
+    is not a post-fixpoint (``F(pre) ⊑ post`` or loop-head stability or
+    the alarm-superset check failed).  The CLI maps this to the
+    ``certificate-invalid`` incident (phase ``certify``, exit 3)."""
 
 
 class ServeError(ReproError):

@@ -41,7 +41,7 @@ _ANALYZER_OVERRIDES = frozenset({
 
 
 def _analyzer_config(spec: CaseSpec, built: BuiltCase) -> AnalyzerConfig:
-    config = AnalyzerConfig(collect_invariants=True,
+    config = AnalyzerConfig(collect_invariants=True, certify=True,
                             input_ranges=dict(built.input_ranges),
                             max_clock=built.max_clock)
     unknown = set(spec.analyzer) - _ANALYZER_OVERRIDES
@@ -84,9 +84,28 @@ def run_built_case(built: BuiltCase) -> Dict:
             and result.widening_iterations == vec.widening_iterations
         )
         vectorize_differential = {"identical": identical}
+    certified = None
+    certify_error = None
+    if not result.degraded:
+        # Certification oracle: every non-degraded case's invariant map
+        # must survive an independent one-application replay.  A result
+        # the certifier cannot validate is an unsoundness-grade finding
+        # even when the concrete-execution oracle saw nothing.
+        from ..certify import certify_result
+        from ..errors import CertificateError
+
+        try:
+            certify_result(result, built.source,
+                           filename=f"<{spec.case_id}>")
+            certified = True
+        except CertificateError as exc:
+            certified = False
+            certify_error = str(exc)
     if result.degraded:
         outcome = "degraded"
     elif not oracle.sound:
+        outcome = "unsound"
+    elif certified is False:
         outcome = "unsound"
     elif vectorize_differential is not None \
             and not vectorize_differential["identical"]:
@@ -109,6 +128,10 @@ def run_built_case(built: BuiltCase) -> Dict:
             built.source.encode("utf-8")).hexdigest(),
         "source_lines": built.source.count("\n"),
     }
+    if certified is not None:
+        payload["certified"] = certified
+    if certify_error is not None:
+        payload["certify_error"] = certify_error
     if vectorize_differential is not None:
         payload["vectorize_differential"] = vectorize_differential
     return payload

@@ -131,6 +131,15 @@ class Iterator:
         # Deterministic invocation ordinal of outermost fixpoints: the
         # coordinate system checkpoints use to find their loop again.
         self._fixpoint_ordinal: int = -1
+        # Certificate recording (repro.certify), on under cfg.certify:
+        # one (stable statement ordinal, pre-narrowing post-fixpoint,
+        # checking-pass invariant) triple per loop occurrence of the
+        # checking-mode traversal, in traversal order.  The emitter
+        # consumes the stream in the same structural order.
+        self.cert_invariants: List[Tuple[int, AbstractState,
+                                         AbstractState]] = []
+        self._last_pf: Optional[AbstractState] = None
+        self._cert_ordinals: Optional[Dict[int, int]] = None
 
     # -- top level -----------------------------------------------------------------
 
@@ -660,6 +669,14 @@ class Iterator:
             ret_val = _join_opt_val(ret_val, rv)
         # Widening/narrowing fixpoint from the remaining entry state.
         inv = self._loop_fixpoint(cur, s)
+        if self.cfg.certify and self.alarms.checking:
+            # _last_pf is the pre-narrowing post-fixpoint of exactly this
+            # _loop_fixpoint call (assigned at its return boundary;
+            # nested fixpoints during narrowing are overwritten again
+            # before the call returns).
+            pf = self._last_pf if self._last_pf is not None else inv
+            self.cert_invariants.append((self._stable_ordinal(s.sid),
+                                         pf, inv))
         if self.cfg.collect_invariants:
             prev = self.loop_invariants.get(s.loop_id)
             self.loop_invariants[s.loop_id] = \
@@ -676,8 +693,19 @@ class Iterator:
         normal = exits if exits is not None else state.to_bottom()
         return Flow(normal=normal, ret=ret, ret_val=ret_val)
 
+    def _stable_ordinal(self, sid: int) -> int:
+        """Process-independent statement identity for certificate records
+        (alarms and loop occurrences are matched across re-compilations
+        of the same source by ordinal, never by raw sid)."""
+        if self._cert_ordinals is None:
+            from ..serve.fingerprints import stable_ordinals
+
+            self._cert_ordinals = stable_ordinals(self.ctx.prog)
+        return self._cert_ordinals[sid]
+
     def _loop_fixpoint(self, entry: AbstractState, s: I.SWhile) -> AbstractState:
         if entry.is_bottom:
+            self._last_pf = entry
             return entry
         was_checking = self.alarms.checking
         self.alarms.checking = False
@@ -804,6 +832,13 @@ class Iterator:
         # concrete least fixpoint, so replacing the invariant with it is a
         # sound decreasing step — and unlike classical narrowing it also
         # retracts finite threshold bounds, not just infinite ones.
+        #
+        # The pre-narrowing post-fixpoint is kept for certificate
+        # emission: it passed the exact ``inv ⊒ entry ∪ F(inv)`` check
+        # above, so a one-application checker can always re-verify it,
+        # whereas the narrowed invariant below is only *usually* stable
+        # under one more application.
+        pf = inv
         for _ in range(self.cfg.narrowing_steps):
             body_in = self.guards.guard(inv, s.cond, True, s.sid, s.loc)
             after, _, _, _ = run_body(body_in)
@@ -815,6 +850,10 @@ class Iterator:
             else:
                 inv = inv.narrow(target)
                 break
+        # Assigned at the return boundary: nested fixpoints inside the
+        # narrowing body runs above clobber _last_pf, so the caller must
+        # see this call's value, written last.
+        self._last_pf = pf
         return inv
 
     # -- switch -----------------------------------------------------------------------------------

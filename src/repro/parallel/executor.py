@@ -374,6 +374,12 @@ def execute_tasks(ctx, sid_index: Dict[int, I.Stmt],
             "invariants": sorted(
                 (lid, _state_delta(base, inv))
                 for lid, inv in it.loop_invariants.items()),
+            # Certificate records (repro.certify) in encounter order —
+            # unlike "invariants", the order is the stream position the
+            # emitter consumes at, so it must never be sorted.
+            "cert_invariants": [
+                (ordv, _state_delta(base, pf), _state_delta(base, used))
+                for ordv, pf, used in it.cert_invariants],
             "worker": label,
             "rss_kib": 0 if worker_label == "inline" else _worker_rss_kib(),
         }))
@@ -525,6 +531,12 @@ class ParallelEngine:
             inv = _apply_delta(self.ctx, base, delta)
             prev = it.loop_invariants.get(lid)
             it.loop_invariants[lid] = inv if prev is None else prev.join(inv)
+        # .get(): socket workers running an older protocol may omit the
+        # certificate stream (certify off ships an empty list anyway).
+        for ordv, pf_d, used_d in res.get("cert_invariants", ()):
+            it.cert_invariants.append(
+                (ordv, _apply_delta(self.ctx, base, pf_d),
+                 _apply_delta(self.ctx, base, used_d)))
 
     def _flow_from(self, base: AbstractState, delta):
         from ..iterator.iterator import Flow

@@ -227,6 +227,12 @@ def render_serve_stats(stats: Dict, title: str = "Serve stats") -> str:
                  f"{runs.get('degraded', 0)} degraded, "
                  f"{runs.get('retries', 0)} crash-retried")
     lines.append(f"* journal harvests: {js.get('harvests', 0)}")
+    certify = stats.get("certify", {})
+    if certify.get("mode", "off") != "off":
+        lines.append(
+            f"* certification ({certify.get('mode')}): "
+            f"{certify.get('certified', 0)} warm result(s) certified, "
+            f"{certify.get('rejections', 0)} rejected and re-run cold")
     return "\n".join(lines) + "\n"
 
 

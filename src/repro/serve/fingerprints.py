@@ -80,7 +80,7 @@ _NON_SEMANTIC_FIELDS = frozenset({
     "worker_connect_timeout_s", "wall_deadline_s",
     "rss_limit_kib", "stmt_timeout_s", "watchdog_interval_s",
     "checkpoint_path", "checkpoint_every", "resume_path",
-    "checkpoint_halt_after",
+    "checkpoint_halt_after", "certify",
 })
 
 

@@ -97,6 +97,11 @@ class ServeConfig:
     # the jitter sequence for deterministic chaos tests).
     restart_backoff_s: float = 0.05
     backoff_seed: Optional[int] = None
+    # Journal-warmed result validation (repro.certify): "off",
+    # "sampled" (deterministic 1-in-8 by source digest), or "all".
+    # A warm result that fails certification is never cached or
+    # returned — it is discarded and the job re-runs cold.
+    certify_serve: str = "sampled"
     # Base configuration jobs start from before request overrides.
     base_config: AnalyzerConfig = dataclasses.field(
         default_factory=AnalyzerConfig)
@@ -126,10 +131,12 @@ class AnalysisServer:
             self.executor = WorkerSupervisor(
                 cache_dir=config.cache_dir,
                 backoff_base_s=config.restart_backoff_s,
-                backoff_seed=config.backoff_seed)
+                backoff_seed=config.backoff_seed,
+                certify_mode=config.certify_serve)
         else:
             self.executor = InProcessExecutor(config.cache_dir,
-                                              config.base_config)
+                                              config.base_config,
+                                              config.certify_serve)
         self.started_at = time.monotonic()
         self._stop = threading.Event()
         self._draining = threading.Event()
@@ -146,6 +153,8 @@ class AnalysisServer:
         self.journal_harvests = 0
         self.job_retries = 0
         self.poisoned_refusals = 0
+        self.certified_runs = 0
+        self.certify_rejections = 0
         self.incidents: List[str] = []
 
     def _incident(self, message: str) -> None:
@@ -281,6 +290,13 @@ class AnalysisServer:
             self.cold_wall_s += wall
         if reply.get("harvested"):
             self.journal_harvests += 1
+        if reply.get("certified"):
+            self.certified_runs += 1
+        if reply.get("certify_rejected"):
+            self.certify_rejections += 1
+            self._incident(
+                f"job {job.job_id}: journal-warmed result failed "
+                f"certification; served the certified cold re-run")
         # A complete successful run clears the key's crash history (and
         # for bypass runs, its quarantine entry: operator re-admission).
         self.poison.clear(rkey)
@@ -394,6 +410,11 @@ class AnalysisServer:
             "worker": self.executor.health(),
             "quarantine": dict(self.poison.stats(),
                                refusals=self.poisoned_refusals),
+            "certify": {
+                "mode": self.config.certify_serve,
+                "certified": self.certified_runs,
+                "rejections": self.certify_rejections,
+            },
             "runs": {
                 "cold": self.cold_runs, "warm": self.warm_runs,
                 "degraded": self.degraded_runs,

@@ -90,10 +90,13 @@ class WorkerHandle:
     """One spawned worker subprocess and its frame channel."""
 
     def __init__(self, cache_dir: Optional[str],
-                 stderr_passthrough: bool = True):
+                 stderr_passthrough: bool = True,
+                 certify_mode: str = "off"):
         argv = [sys.executable, "-m", "repro.serve.worker"]
         if cache_dir:
             argv += ["--cache-dir", cache_dir]
+        if certify_mode != "off":
+            argv += ["--certify", certify_mode]
         self.proc = subprocess.Popen(
             argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
             stderr=subprocess.PIPE, env=self._env())
@@ -220,10 +223,12 @@ class WorkerSupervisor:
     def __init__(self, cache_dir: Optional[str] = None,
                  backoff_base_s: float = 0.05, backoff_cap_s: float = 5.0,
                  backoff_seed: Optional[int] = None,
-                 stderr_passthrough: bool = True):
+                 stderr_passthrough: bool = True,
+                 certify_mode: str = "off"):
         from ..supervisor.restart import RestartPolicy
 
         self.cache_dir = cache_dir
+        self.certify_mode = certify_mode
         self.policy = RestartPolicy(base_s=backoff_base_s,
                                     cap_s=backoff_cap_s,
                                     seed=backoff_seed)
@@ -259,7 +264,8 @@ class WorkerSupervisor:
         delay = self._next_spawn_at - time.monotonic()
         if delay > 0:
             time.sleep(delay)
-        handle = WorkerHandle(self.cache_dir, self._stderr_passthrough)
+        handle = WorkerHandle(self.cache_dir, self._stderr_passthrough,
+                              certify_mode=self.certify_mode)
         self.spawns += 1
         try:
             reply = handle.request({"op": "ping"},

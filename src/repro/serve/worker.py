@@ -59,7 +59,8 @@ class JobExecutor:
     exact-result store is *not* consulted here — the parent daemon
     answers exact hits without involving a worker at all."""
 
-    def __init__(self, cache_dir: Optional[str] = None, base_config=None):
+    def __init__(self, cache_dir: Optional[str] = None, base_config=None,
+                 certify_mode: str = "off"):
         from ..config import AnalyzerConfig
 
         self.base_config = base_config or AnalyzerConfig()
@@ -67,6 +68,12 @@ class JobExecutor:
         self.frontend = FrontendCache()
         self.jobs_run = 0
         self.journal_harvests = 0
+        # Journal-warmed result validation (repro.certify): "off",
+        # "sampled" (deterministic 1-in-8 by source digest), or "all".
+        assert certify_mode in ("off", "sampled", "all")
+        self.certify_mode = certify_mode
+        self.certified_runs = 0
+        self.certify_rejections = 0
 
     def run(self, msg: Dict) -> Dict:
         """Execute one ``run`` frame; always returns an envelope.
@@ -109,11 +116,50 @@ class JobExecutor:
             parse_s = time.perf_counter() - p0
             self.frontend.put(src_digest, entry, prog)
 
+        if self.certify_mode != "off":
+            # Record invariant certificates during the run so a
+            # journal-warmed result can be validated before it is
+            # cached or returned (certify is a non-semantic field:
+            # request keys and journal compatibility are unchanged).
+            cfg = cfg.with_overrides(certify=True)
         cross_run = None
         if cfg.incremental and not cfg.trace and not bypass:
             cross_run = CrossRunCache(journal_store=self.journals)
         result = analyze_program(prog, cfg, parse_seconds=parse_s,
                                  cross_run=cross_run)
+
+        certified = False
+        rejected = False
+        if self._should_certify(result, src_digest):
+            from ..certify import certify_result
+            from ..errors import CertificateError
+
+            try:
+                certify_result(result, sources)
+                certified = True
+            except CertificateError as e:
+                # A journal-warmed fixpoint failed independent
+                # validation: never cache or return it.  Discard the
+                # warm result and re-run cold (no journal replay),
+                # then certify the cold run too — a second failure is
+                # a real analysis bug and fails the job.
+                rejected = True
+                self.certify_rejections += 1
+                print(f"serve-worker: journal-warmed result for "
+                      f"{src_digest[:12]} failed certification "
+                      f"({e}); re-running cold", file=sys.stderr,
+                      flush=True)
+                # Donorless cache: the cold run still harvests, so its
+                # journal *replaces* the tainted one in the store.
+                cross_run = CrossRunCache(journal_store=self.journals,
+                                          donor_bytes=b"")
+                result = analyze_program(prog, cfg,
+                                         parse_seconds=parse_s,
+                                         cross_run=cross_run)
+                certify_result(result, sources)
+                certified = True
+        if certified:
+            self.certified_runs += 1
 
         payload = result_payload(result)
         harvested = (cross_run is not None
@@ -125,8 +171,21 @@ class JobExecutor:
             "digest": result_digest(payload), "result": payload,
             "wall_s": time.perf_counter() - t0,
             "degraded": bool(result.degraded), "harvested": harvested,
+            "certified": certified, "certify_rejected": rejected,
             "worker_stats": self.stats(),
         }
+
+    def _should_certify(self, result, src_digest: str) -> bool:
+        """Validate journal-warmed, non-degraded results: every one
+        under "all", a deterministic 1-in-8 sample (by source digest)
+        under "sampled"."""
+        if self.certify_mode == "off":
+            return False
+        if result.degraded or result.cross_run_hits <= 0:
+            return False
+        if self.certify_mode == "all":
+            return True
+        return int(src_digest[:4], 16) % 8 == 0
 
     def stats(self) -> Dict:
         from ..domains.octagon import closure_memo_stats
@@ -139,6 +198,9 @@ class JobExecutor:
             "journal_store": self.journals.stats(),
             "closure_memo": {"hits": ch, "entries": csize,
                              "evictions": cev},
+            "certify": {"mode": self.certify_mode,
+                        "certified": self.certified_runs,
+                        "rejections": self.certify_rejections},
         }
 
 
@@ -148,8 +210,9 @@ class InProcessExecutor:
     worker death takes the daemon with it).  Presents the supervisor's
     interface so the server code has a single dispatch path."""
 
-    def __init__(self, cache_dir: Optional[str] = None, base_config=None):
-        self._executor = JobExecutor(cache_dir, base_config)
+    def __init__(self, cache_dir: Optional[str] = None, base_config=None,
+                 certify_mode: str = "off"):
+        self._executor = JobExecutor(cache_dir, base_config, certify_mode)
 
     def ensure_started(self) -> None:
         pass
@@ -220,6 +283,10 @@ def _chaos_send(out, reply: Dict) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.serve.worker")
     parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--certify", choices=("off", "sampled", "all"),
+                        default="off",
+                        help="validate journal-warmed results by "
+                             "invariant certification before returning")
     args = parser.parse_args(argv)
 
     # Claim the frame channel before anything can print to it: frames go
@@ -229,7 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sys.stdout = sys.stderr
     inp = os.fdopen(os.dup(0), "rb")
 
-    executor = JobExecutor(args.cache_dir)
+    executor = JobExecutor(args.cache_dir, certify_mode=args.certify)
     while True:
         try:
             msg = recv_frame(inp)

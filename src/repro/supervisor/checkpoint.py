@@ -22,6 +22,11 @@ Alarms need no capturing: checkpoints are only written inside fixpoints,
 where checking mode is off (iteration mode emits no warnings —
 Sect. 5.3), and the replayed prefix regenerates the pre-loop alarms
 deduplicated by (statement id, kind) exactly as the original run did.
+Certificate records (``repro.certify``) need no capturing for the same
+reason: they are only appended during the checking pass, which runs
+entirely after the last possible checkpoint boundary, so a resumed run
+regenerates the full invariant map and certifies like an uninterrupted
+one.
 
 The on-disk format is a pickled dict (version-tagged, fingerprinted
 against the program/config, written atomically via rename).  States
